@@ -1,0 +1,85 @@
+// Benchmarks for set-semantics containment (hom-existence), the filter that
+// computes V = { v ∈ V0 : q ⊆set v } (Definition 25) — the Σ^P_2-flavored
+// part of the decision procedure the paper points out.
+
+#include <benchmark/benchmark.h>
+
+#include "query/cq.h"
+#include "query/parser.h"
+#include "structs/generator.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+ConjunctiveQuery ChainQuery(const std::shared_ptr<Schema>& schema,
+                            std::string name, Element length) {
+  Structure body(schema);
+  RelationId e = *schema->Find("E");
+  for (Element i = 0; i < length; ++i) {
+    body.AddFact(e, {i, static_cast<Element>(i + 1)});
+  }
+  return BooleanQueryFromStructure(std::move(name), body);
+}
+
+void BM_ChainIntoChain(benchmark::State& state) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  ConjunctiveQuery q =
+      ChainQuery(schema, "q", static_cast<Element>(state.range(0)));
+  ConjunctiveQuery v =
+      ChainQuery(schema, "v", static_cast<Element>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsContainedSetSemantics(q, v));
+  }
+  state.SetLabel("|q|=" + std::to_string(state.range(0)) +
+                 " |v|=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_ChainIntoChain)
+    ->Args({8, 4})
+    ->Args({16, 8})
+    ->Args({32, 16})
+    ->Args({64, 32});
+
+void BM_RandomContainment(benchmark::State& state) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  Rng rng(3);
+  ConjunctiveQuery q = BooleanQueryFromStructure(
+      "q", RandomConnectedStructure(
+               schema, static_cast<std::size_t>(state.range(0)), &rng, 2, 3));
+  ConjunctiveQuery v = BooleanQueryFromStructure(
+      "v", RandomConnectedStructure(
+               schema, static_cast<std::size_t>(state.range(1)), &rng, 2, 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsContainedSetSemantics(q, v));
+  }
+}
+BENCHMARK(BM_RandomContainment)->Args({6, 4})->Args({8, 5})->Args({10, 6});
+
+void BM_RelevantViewFilter(benchmark::State& state) {
+  // The full Definition-25 filter over a growing view set.
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  Rng rng(9);
+  ConjunctiveQuery q = ChainQuery(schema, "q", 6);
+  std::vector<ConjunctiveQuery> views;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    views.push_back(BooleanQueryFromStructure(
+        "v" + std::to_string(i),
+        RandomConnectedStructure(schema, 2 + rng.Below(4), &rng, 2, 3)));
+  }
+  for (auto _ : state) {
+    std::size_t relevant = 0;
+    for (const ConjunctiveQuery& v : views) {
+      if (IsContainedSetSemantics(q, v)) ++relevant;
+    }
+    benchmark::DoNotOptimize(relevant);
+  }
+}
+BENCHMARK(BM_RelevantViewFilter)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace bagdet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// End-to-end benchmarks for the Theorem-3 decision procedure, sweeping the
+// quantities the paper's complexity remarks single out: the number of
+// views |V0|, the number of basis queries k = |W| (everything after W is
+// polynomial), and decision-only vs. counterexample synthesis.
+
+#include <benchmark/benchmark.h>
+
+#include "core/determinacy.h"
+#include "query/cq.h"
+#include "structs/structure.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+/// Builds k pairwise non-isomorphic connected components: directed cycles
+/// of lengths 1..k.
+std::vector<Structure> CycleComponents(const std::shared_ptr<Schema>& schema,
+                                       std::size_t k) {
+  std::vector<Structure> components;
+  for (std::size_t len = 1; len <= k; ++len) {
+    Structure c(schema);
+    for (Element i = 0; i < len; ++i) {
+      c.AddFact(0, {i, static_cast<Element>((i + 1) % len)});
+    }
+    components.push_back(std::move(c));
+  }
+  return components;
+}
+
+Structure Combine(const std::shared_ptr<Schema>& schema,
+                  const std::vector<Structure>& components,
+                  const std::vector<int>& multiplicities) {
+  Structure s(schema);
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    for (int m = 0; m < multiplicities[i]; ++m) {
+      s = DisjointUnion(s, components[i]);
+    }
+  }
+  return s;
+}
+
+/// A determined instance with k components: q = Σ w_i, views
+/// v_j = q + w_j (j = 1..k) and v_0 = 2q, giving a solvable system.
+struct Instance {
+  ConjunctiveQuery q;
+  std::vector<ConjunctiveQuery> views;
+};
+
+Instance DeterminedInstance(std::size_t k) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  std::vector<Structure> comps = CycleComponents(schema, k);
+  std::vector<int> ones(k, 1);
+  Instance inst{BooleanQueryFromStructure("q", Combine(schema, comps, ones)),
+                {}};
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<int> mult(k, 1);
+    mult[j] = 2;
+    inst.views.push_back(BooleanQueryFromStructure(
+        "v" + std::to_string(j), Combine(schema, comps, mult)));
+  }
+  std::vector<int> twos(k, 2);
+  inst.views.push_back(
+      BooleanQueryFromStructure("v2q", Combine(schema, comps, twos)));
+  return inst;
+}
+
+/// A non-determined instance: q = Σ w_i with one aggregate view Σ i·w_i,
+/// whose vector (1,2,..,k) is not parallel to q⃗ = (1,..,1) for k >= 2.
+Instance UndeterminedInstance(std::size_t k) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  std::vector<Structure> comps = CycleComponents(schema, k);
+  std::vector<int> ones(k, 1);
+  Instance inst{BooleanQueryFromStructure("q", Combine(schema, comps, ones)),
+                {}};
+  std::vector<int> ramp(k);
+  for (std::size_t i = 0; i < k; ++i) ramp[i] = static_cast<int>(i + 1);
+  inst.views.push_back(
+      BooleanQueryFromStructure("v", Combine(schema, comps, ramp)));
+  return inst;
+}
+
+void BM_DecideDetermined(benchmark::State& state) {
+  Instance inst = DeterminedInstance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecideBagDeterminacy(inst.views, inst.q));
+  }
+  state.SetLabel("k=" + std::to_string(state.range(0)) + " determined");
+}
+BENCHMARK(BM_DecideDetermined)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_DecideUndeterminedNoCertificate(benchmark::State& state) {
+  Instance inst =
+      UndeterminedInstance(static_cast<std::size_t>(state.range(0)));
+  DeterminacyOptions options;
+  options.want_counterexample = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecideBagDeterminacy(inst.views, inst.q, options));
+  }
+  state.SetLabel("k=" + std::to_string(state.range(0)) + " decision only");
+}
+BENCHMARK(BM_DecideUndeterminedNoCertificate)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_DecideUndeterminedWithCounterexample(benchmark::State& state) {
+  Instance inst =
+      UndeterminedInstance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    DeterminacyResult result = DecideBagDeterminacy(inst.views, inst.q);
+    benchmark::DoNotOptimize(result.counterexample.has_value());
+  }
+  state.SetLabel("k=" + std::to_string(state.range(0)) + " with certificate");
+}
+BENCHMARK(BM_DecideUndeterminedWithCounterexample)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_AnalyzeOnlyManyViews(benchmark::State& state) {
+  // Scaling in |V0| with fixed k: the containment filter plus vectorization.
+  Instance base = DeterminedInstance(3);
+  std::vector<ConjunctiveQuery> views;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    views.push_back(base.views[static_cast<std::size_t>(i) %
+                               base.views.size()]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeInstance(views, base.q));
+  }
+  state.SetLabel("|V0|=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_AnalyzeOnlyManyViews)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace bagdet
+
+BENCHMARK_MAIN();

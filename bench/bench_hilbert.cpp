@@ -1,0 +1,87 @@
+// Benchmarks for the Theorem-2 pipeline: reduction emission, view
+// evaluation on structure summaries, and the bounded refutation search
+// (which is the best anyone can do — Theorem 2).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "hilbert/polynomial.h"
+#include "hilbert/reduction.h"
+#include "hilbert/search.h"
+
+namespace bagdet {
+namespace {
+
+DiophantineInstance InstanceWithUnknowns(int unknowns) {
+  // x0*x1*...*x_{k-1} - 2  (solvable: one unknown 2, rest 1).
+  std::string text;
+  for (int i = 0; i < unknowns; ++i) {
+    if (i) text += "*";
+    text += "x" + std::to_string(i);
+  }
+  text += " - 2";
+  return DiophantineInstance::Parse(text);
+}
+
+void BM_ReductionEmission(benchmark::State& state) {
+  DiophantineInstance inst = InstanceWithUnknowns(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceToDeterminacy(inst));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " unknowns");
+}
+BENCHMARK(BM_ReductionEmission)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ReductionWithLargeCoefficients(benchmark::State& state) {
+  // V_I carries |c(m)| disjuncts per monomial: coefficient size scales the
+  // emitted UCQ.
+  DiophantineInstance inst = DiophantineInstance::Parse(
+      std::to_string(state.range(0)) + "*x0 - " +
+      std::to_string(state.range(0)) + "*x1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceToDeterminacy(inst));
+  }
+  state.SetLabel("coefficient " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ReductionWithLargeCoefficients)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ViewEvaluationOnSummary(benchmark::State& state) {
+  DiophantineInstance inst = DiophantineInstance::Parse("x0^2*x1 - 2*x1 + 7");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  Structure d = red.MakeStructure(true, false,
+                                  {static_cast<std::uint64_t>(state.range(0)),
+                                   static_cast<std::uint64_t>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(red.EvaluateViews(d));
+  }
+  state.SetLabel("X-counts " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ViewEvaluationOnSummary)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_BoundedRefutationSearch(benchmark::State& state) {
+  DiophantineInstance inst = DiophantineInstance::Parse("x0^2 - 9");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SearchNonDeterminacy(red, static_cast<std::uint64_t>(state.range(0))));
+  }
+  state.SetLabel("bound " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_BoundedRefutationSearch)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_DiophantineBruteForce(benchmark::State& state) {
+  DiophantineInstance inst =
+      DiophantineInstance::Parse("x0^2 + x1^2 - x2^2 - 25");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        inst.FindSolution(static_cast<std::uint64_t>(state.range(0))));
+  }
+  state.SetLabel("box bound " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_DiophantineBruteForce)->Arg(5)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace bagdet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Benchmarks for the exact arithmetic / linear algebra substrate: BigInt
+// multiplication and division, Gaussian elimination, span tests and
+// orthogonal witnesses (the Main Lemma's inner loop).
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/gauss.h"
+#include "util/bigint.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+BigInt RandomBig(Rng* rng, int limbs) {
+  BigInt x(0);
+  const BigInt base = BigInt::FromString("4294967296");
+  for (int i = 0; i < limbs; ++i) {
+    x = x * base + BigInt(static_cast<std::int64_t>(rng->Below(1ull << 32)));
+  }
+  return x;
+}
+
+void BM_BigIntMultiply(benchmark::State& state) {
+  Rng rng(7);
+  BigInt a = RandomBig(&rng, static_cast<int>(state.range(0)));
+  BigInt b = RandomBig(&rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetLabel(std::to_string(32 * state.range(0)) + " bits");
+}
+BENCHMARK(BM_BigIntMultiply)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  Rng rng(11);
+  BigInt a = RandomBig(&rng, static_cast<int>(state.range(0)));
+  BigInt b = RandomBig(&rng, static_cast<int>(state.range(0) / 2 + 1));
+  for (auto _ : state) {
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigIntDivMod)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BigIntPow(benchmark::State& state) {
+  BigInt base(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BigInt::Pow(base, static_cast<std::uint64_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_BigIntPow)->Arg(16)->Arg(256)->Arg(4096);
+
+Mat RandomMatrix(Rng* rng, std::size_t n, std::int64_t lo, std::int64_t hi) {
+  Mat m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m.At(r, c) = Rational(rng->Range(lo, hi));
+    }
+  }
+  return m;
+}
+
+void BM_GaussianElimination(benchmark::State& state) {
+  Rng rng(13);
+  Mat m = RandomMatrix(&rng, static_cast<std::size_t>(state.range(0)), -9, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceToRref(m));
+  }
+}
+BENCHMARK(BM_GaussianElimination)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MatrixInverse(benchmark::State& state) {
+  Rng rng(17);
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Mat m = RandomMatrix(&rng, n, -9, 9);
+  while (!IsNonsingular(m)) m = RandomMatrix(&rng, n, -9, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Inverse(m));
+  }
+}
+BENCHMARK(BM_MatrixInverse)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SpanMembership(benchmark::State& state) {
+  Rng rng(19);
+  std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<Vec> basis;
+  for (std::size_t i = 0; i < k; ++i) {
+    Vec v(k);
+    for (std::size_t j = 0; j < k; ++j) v[j] = Rational(rng.Range(0, 5));
+    basis.push_back(std::move(v));
+  }
+  Vec target(k);
+  for (std::size_t j = 0; j < k; ++j) target[j] = Rational(rng.Range(0, 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TestSpanMembership(basis, target));
+  }
+}
+BENCHMARK(BM_SpanMembership)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_OrthogonalWitness(benchmark::State& state) {
+  Rng rng(23);
+  std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<Vec> basis;
+  for (std::size_t i = 0; i + 2 < k; ++i) {  // Leave room outside the span.
+    Vec v(k);
+    for (std::size_t j = 0; j < k; ++j) v[j] = Rational(rng.Range(0, 5));
+    basis.push_back(std::move(v));
+  }
+  Vec target(k);
+  for (std::size_t j = 0; j < k; ++j) target[j] = Rational(rng.Range(1, 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OrthogonalWitness(basis, target));
+  }
+}
+BENCHMARK(BM_OrthogonalWitness)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace bagdet
+
+BENCHMARK_MAIN();

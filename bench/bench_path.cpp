@@ -1,0 +1,110 @@
+// Benchmarks for the Theorem-1 path-query pipeline: prefix-graph
+// reachability (Fact 10 / Lemma 11), q-walk reduction (Lemma 15), matrix
+// semantics (Fact 18), and the Appendix-B counterexample construction.
+
+#include <benchmark/benchmark.h>
+
+#include "path/matrix_semantics.h"
+#include "path/path_query.h"
+#include "path/qwalk.h"
+#include "structs/generator.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+std::string RandomWord(Rng* rng, std::size_t length, int alphabet) {
+  std::string w;
+  for (std::size_t i = 0; i < length; ++i) {
+    w.push_back(static_cast<char>('A' + rng->Below(alphabet)));
+  }
+  return w;
+}
+
+void BM_DecidePath(benchmark::State& state) {
+  auto schema = std::make_shared<Schema>();
+  Rng rng(1);
+  PathQuery q = PathQuery::FromWord(
+      RandomWord(&rng, static_cast<std::size_t>(state.range(0)), 2), schema);
+  std::vector<PathQuery> views;
+  for (std::int64_t i = 0; i < state.range(1); ++i) {
+    views.push_back(PathQuery::FromWord(
+        RandomWord(&rng, 1 + rng.Below(4), 2), schema));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DecidePathDeterminacy(q, views, /*want_counterexample=*/false));
+  }
+  state.SetLabel("|q|=" + std::to_string(state.range(0)) +
+                 " |V|=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_DecidePath)
+    ->Args({16, 4})
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({1024, 4})
+    ->Args({1024, 16})
+    ->Args({4096, 16});
+
+void BM_QWalkReduction(benchmark::State& state) {
+  // Worst-case zig-zag walk of the requested length over q = A^n.
+  auto schema = std::make_shared<Schema>();
+  PathQuery q = PathQuery::FromWord(
+      std::string(static_cast<std::size_t>(state.range(0)), 'A'), schema);
+  RelationId a = *schema->Find("A");
+  SignedWord walk;
+  // Up-down sawtooth: +2, -1 repeated, then finish.
+  std::int64_t height = 0;
+  while (height < state.range(0)) {
+    walk.push_back({a, +1});
+    ++height;
+    if (height < state.range(0)) {
+      walk.push_back({a, +1});
+      walk.push_back({a, -1});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceToFixpointPlusMinus(walk));
+  }
+  state.SetLabel("walk length " + std::to_string(walk.size()));
+}
+BENCHMARK(BM_QWalkReduction)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_WordMatrixEvaluation(benchmark::State& state) {
+  auto schema = std::make_shared<Schema>();
+  Rng rng(5);
+  PathQuery q = PathQuery::FromWord(
+      RandomWord(&rng, static_cast<std::size_t>(state.range(0)), 2), schema);
+  Structure d = RandomStructure(schema,
+                                static_cast<std::size_t>(state.range(1)),
+                                &rng, 1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WordMatrix(d, q));
+  }
+  state.SetLabel("|q|=" + std::to_string(state.range(0)) +
+                 " n=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_WordMatrixEvaluation)
+    ->Args({8, 8})
+    ->Args({8, 32})
+    ->Args({32, 32})
+    ->Args({32, 64});
+
+void BM_PathCounterexample(benchmark::State& state) {
+  auto schema = std::make_shared<Schema>();
+  // q = (AB)^n with only view BA: never determined.
+  std::string word;
+  for (std::int64_t i = 0; i < state.range(0); ++i) word += "AB";
+  PathQuery q = PathQuery::FromWord(word, schema);
+  std::vector<PathQuery> views = {PathQuery::FromWord("BA", schema)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPathCounterexample(q, views));
+  }
+  state.SetLabel("|q|=" + std::to_string(2 * state.range(0)));
+}
+BENCHMARK(BM_PathCounterexample)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace bagdet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// path_routes: Theorem 1 on a transport-network workload.
+//
+// Scenario: a travel search engine stores legs of different carriers as
+// binary relations (F = flight, T = train, B = bus). Cached route-count
+// views are words over these relations (path queries under bag semantics:
+// the *number* of routes between every pair of cities). Which itinerary
+// counts can be served from the cache alone? Theorem 1 says: exactly
+// those reachable in the prefix graph G_{q,V} — identically under set and
+// bag semantics.
+
+#include <iostream>
+#include <vector>
+
+#include "path/matrix_semantics.h"
+#include "path/path_query.h"
+#include "path/qwalk.h"
+
+int main() {
+  using namespace bagdet;
+  auto schema = std::make_shared<Schema>();
+
+  // Cached route-count views.
+  std::vector<PathQuery> views = {
+      PathQuery::FromWord("FT", schema),    // Fly then train.
+      PathQuery::FromWord("T", schema),     // Single train leg.
+      PathQuery::FromWord("TB", schema),    // Train then bus.
+      PathQuery::FromWord("FTB", schema),   // The full combo.
+  };
+  std::cout << "cached views: FT, T, TB, FTB\n\n";
+
+  std::vector<PathQuery> wanted = {
+      PathQuery::FromWord("F", schema),      // Flight counts alone.
+      PathQuery::FromWord("FT", schema),     // Cached directly.
+      PathQuery::FromWord("FTTB", schema),   // Fly-train-train-bus.
+      PathQuery::FromWord("FB", schema),     // Fly then bus.
+      PathQuery::FromWord("FTB", schema),
+  };
+
+  for (const PathQuery& q : wanted) {
+    PathDeterminacyResult result = DecidePathDeterminacy(q, views);
+    std::cout << "itinerary " << q.ToString() << ": "
+              << (result.determined ? "derivable from cache"
+                                    : "NOT derivable")
+              << "\n";
+    if (result.determined) {
+      std::cout << "  prefix-graph path:";
+      for (const PrefixStep& step : result.path) {
+        std::cout << " " << step.from_prefix
+                  << (step.direction > 0 ? "-[+" : "-[-")
+                  << views[step.view_index].ToString() << "]->"
+                  << step.to_prefix;
+      }
+      SignedWord walk = BuildQWalk(q, views, result.path);
+      std::cout << "\n  induced q-walk: "
+                << SignedWordToString(walk, *schema)
+                << (IsQWalk(walk, q) ? "  (valid q-walk, reduces to q)" : "")
+                << "\n";
+    } else if (result.counterexample.has_value()) {
+      const auto& [d, d_prime] = *result.counterexample;
+      bool views_agree = true;
+      for (const PathQuery& v : views) {
+        views_agree = views_agree &&
+                      AnswerBagsEqual(EvaluatePathQuery(d, v),
+                                      EvaluatePathQuery(d_prime, v));
+      }
+      bool q_differs = !AnswerBagsEqual(EvaluatePathQuery(d, q),
+                                        EvaluatePathQuery(d_prime, q));
+      std::cout << "  counterexample (" << d.DomainSize()
+                << " cities, twisted double cover): views agree="
+                << (views_agree ? "yes" : "NO")
+                << ", itinerary counts differ=" << (q_differs ? "yes" : "NO")
+                << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "Theorem 1: these verdicts coincide with set-semantics "
+               "determinacy - caching counts is no harder than caching "
+               "reachability for path views.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "core/basis.h"
+
+#include <stdexcept>
+
+#include "hom/hom.h"
+#include "hom/symbolic.h"
+#include "linalg/gauss.h"
+
+namespace bagdet {
+
+GoodBasis BuildGoodBasis(const InstanceAnalysis& analysis,
+                         const DistinguisherOptions& options) {
+  const std::vector<Structure>& w = analysis.basis_queries;
+  const std::size_t k = w.size();
+  const auto schema = analysis.query.schema_ptr();
+  GoodBasis basis;
+
+  // Step 1: distinguishers for every pair. Duplicates are harmless but
+  // wasteful, so skip candidates equal to an already-collected one.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      std::optional<Structure> h = FindDistinguisher(w[i], w[j], options);
+      if (!h.has_value()) {
+        throw std::logic_error(
+            "BuildGoodBasis: basis queries not pairwise non-isomorphic");
+      }
+      bool duplicate = false;
+      for (const Structure& existing : basis.step1) {
+        if (existing == *h) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) basis.step1.push_back(std::move(*h));
+    }
+  }
+
+  // Step 2: T must exceed every |hom(w_i, s(1)_j)| so the counts become
+  // distinct radix-T numerals (Observation 45).
+  BigInt t_radix(2);
+  for (const Structure& wi : w) {
+    for (const Structure& s1 : basis.step1) {
+      BigInt count = CountHoms(wi, s1);
+      if (count >= t_radix) t_radix = count + BigInt(1);
+    }
+  }
+  basis.radix = t_radix;
+  std::vector<StructureExpr> terms;
+  for (std::size_t j = 0; j < basis.step1.size(); ++j) {
+    terms.push_back(StructureExpr::Scalar(
+        BigInt::Pow(t_radix, static_cast<std::uint64_t>(j + 1)),
+        StructureExpr::Base(basis.step1[j])));
+  }
+  basis.step2 = StructureExpr::Sum(std::move(terms), schema);
+
+  // Steps 3 and 4: s_j = (s(2))^(j-1) × q.
+  StructureExpr query_term = StructureExpr::Base(analysis.query.FrozenBody());
+  for (std::size_t j = 0; j < k; ++j) {
+    basis.structures.push_back(StructureExpr::Product(
+        {StructureExpr::Power(basis.step2, static_cast<std::uint64_t>(j)),
+         query_term},
+        schema));
+  }
+
+  // Evaluation matrix M(i,j) = |hom(w_i, s_j)| via Lemma 4:
+  //   |hom(w_i, s_j)| = |hom(w_i, s(2))|^j · |hom(w_i, q)|.
+  basis.evaluation = Mat(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    BigInt base_count = CountHomsSymbolic(w[i], basis.step2);
+    BigInt q_count = CountHoms(w[i], analysis.query.FrozenBody());
+    BigInt power(1);
+    for (std::size_t j = 0; j < k; ++j) {
+      basis.evaluation.At(i, j) = Rational(power * q_count);
+      power *= base_count;
+    }
+  }
+
+  if (!IsNonsingular(basis.evaluation)) {
+    throw std::logic_error(
+        "BuildGoodBasis: evaluation matrix is singular (construction bug)");
+  }
+  return basis;
+}
+
+}  // namespace bagdet

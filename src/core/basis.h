@@ -1,0 +1,47 @@
+// bagdet: good basis construction (Lemma 40, Steps 1–4).
+//
+// Given the basis queries W = {w_1..w_k}, builds a set S = {s_1..s_k} of
+// basis *structures* (as symbolic terms) that is
+//   decent: v(s) = 0 for every v ∈ V0 \ V and s ∈ S   (Definition 35), and
+//   good:   the evaluation matrix M(i,j) = w_i(s_j) is nonsingular
+//           (Definition 38),
+// following the paper's four steps:
+//   1. S(1): for each pair w ≠ w′ ∈ W, a structure distinguishing their
+//      hom counts (effective Lemma 43 — see distinguisher.h);
+//   2. s(2) = Σ_i T^i s(1)_i with T larger than every entry of M_{S(1)},
+//      making the counts w ↦ hom(w, s(2)) pairwise distinct (radix
+//      argument, Observation 45);
+//   3. s(3)_j = (s(2))^(j-1), giving a Vandermonde evaluation matrix,
+//      nonsingular by Lemma 46;
+//   4. s(4)_j = s(3)_j × q, which scales row i by w_i(q) > 0 and makes the
+//      set decent (v(s′ × q) = v(s′) · v(q) and v(q) = 0 off V).
+
+#ifndef BAGDET_CORE_BASIS_H_
+#define BAGDET_CORE_BASIS_H_
+
+#include <vector>
+
+#include "core/determinacy.h"
+
+namespace bagdet {
+
+/// A good set of basis structures with its evaluation matrix.
+struct GoodBasis {
+  std::vector<StructureExpr> structures;  ///< s_1..s_k (Step-4 terms).
+  Mat evaluation;  ///< M(i,j) = |hom(w_i, s_j)| — integral, nonsingular.
+
+  /// Intermediate artifacts, exposed for tests and experiment binaries.
+  std::vector<Structure> step1;  ///< S(1).
+  BigInt radix;                  ///< T of Step 2.
+  StructureExpr step2;           ///< s(2).
+};
+
+/// Builds a good basis for the analyzed instance (Lemma 40). Throws
+/// std::logic_error if the construction fails to produce a nonsingular
+/// matrix (impossible if the distinguisher search succeeded).
+GoodBasis BuildGoodBasis(const InstanceAnalysis& analysis,
+                         const DistinguisherOptions& options);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_CORE_BASIS_H_

@@ -1,0 +1,248 @@
+#include "core/determinacy.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/basis.h"
+#include "core/counterexample.h"
+#include "hom/hom.h"
+#include "hom/symbolic.h"
+#include "linalg/gauss.h"
+
+namespace bagdet {
+
+namespace {
+
+void CheckQueryUsable(const ConjunctiveQuery& query, const Schema& schema) {
+  if (!query.IsBoolean()) {
+    throw std::invalid_argument("AnalyzeInstance: query '" + query.name() +
+                                "' is not boolean");
+  }
+  if (query.schema() != schema) {
+    throw std::invalid_argument("AnalyzeInstance: query '" + query.name() +
+                                "' uses a different schema");
+  }
+  for (const QueryAtom& atom : query.atoms()) {
+    if (atom.args.empty()) {
+      throw std::invalid_argument(
+          "AnalyzeInstance: query '" + query.name() + "' uses nullary atom " +
+          query.schema().Name(atom.relation) +
+          "(); the Theorem-3 procedure requires atoms of arity >= 1 "
+          "(see DESIGN.md)");
+    }
+  }
+}
+
+}  // namespace
+
+InstanceAnalysis AnalyzeInstance(std::vector<ConjunctiveQuery> views,
+                                 ConjunctiveQuery query) {
+  InstanceAnalysis analysis;
+  const Schema& schema = query.schema();
+  CheckQueryUsable(query, schema);
+  for (const ConjunctiveQuery& view : views) CheckQueryUsable(view, schema);
+  analysis.views = std::move(views);
+  analysis.query = std::move(query);
+
+  // Definition 25: V = { v : q ⊆set v }, i.e. hom(v, q) ≠ ∅.
+  for (std::size_t i = 0; i < analysis.views.size(); ++i) {
+    if (IsContainedSetSemantics(analysis.query, analysis.views[i])) {
+      analysis.relevant_views.push_back(i);
+    }
+  }
+
+  // Definition 27: W = components of Σ_{v ∈ V ∪ {q}} v up to isomorphism.
+  auto add_components = [&analysis](const Structure& frozen) {
+    for (Structure& component : ConnectedComponents(frozen)) {
+      bool known = false;
+      for (const Structure& w : analysis.basis_queries) {
+        if (IsIsomorphic(component, w)) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) analysis.basis_queries.push_back(std::move(component));
+    }
+  };
+  add_components(analysis.query.FrozenBody());
+  for (std::size_t i : analysis.relevant_views) {
+    add_components(analysis.views[i].FrozenBody());
+  }
+
+  // Definition 29: multiplicity vectors over W.
+  auto vectorize = [&analysis](const Structure& frozen) {
+    Vec v(analysis.basis_queries.size());
+    for (const Structure& component : ConnectedComponents(frozen)) {
+      for (std::size_t i = 0; i < analysis.basis_queries.size(); ++i) {
+        if (IsIsomorphic(component, analysis.basis_queries[i])) {
+          v[i] += Rational(1);
+          break;
+        }
+      }
+    }
+    return v;
+  };
+  analysis.query_vector = vectorize(analysis.query.FrozenBody());
+  for (std::size_t i : analysis.relevant_views) {
+    analysis.view_vectors.push_back(vectorize(analysis.views[i].FrozenBody()));
+  }
+  return analysis;
+}
+
+DeterminacyResult DecideBagDeterminacy(std::vector<ConjunctiveQuery> views,
+                                       ConjunctiveQuery query,
+                                       const DeterminacyOptions& options) {
+  DeterminacyResult result;
+  result.analysis = AnalyzeInstance(std::move(views), std::move(query));
+
+  // Main Lemma 31: V0 ⟶bag q ⇔ q⃗ ∈ span{v⃗ : v ∈ V}.
+  SpanMembership span = TestSpanMembership(result.analysis.view_vectors,
+                                           result.analysis.query_vector);
+  result.determined = span.in_span;
+  if (span.in_span) {
+    DeterminacyWitness witness;
+    witness.view_indices = result.analysis.relevant_views;
+    witness.exponents = span.coefficients;
+    result.witness = std::move(witness);
+    return result;
+  }
+  if (options.want_counterexample) {
+    GoodBasis basis = BuildGoodBasis(result.analysis, options.distinguisher);
+    result.counterexample = SynthesizeCounterexample(result.analysis, basis);
+  }
+  return result;
+}
+
+bool CheckWitnessOnStructure(const InstanceAnalysis& analysis,
+                             const DeterminacyWitness& witness,
+                             const Structure& data) {
+  BigInt q_count = analysis.query.CountHomomorphisms(data);
+  std::vector<BigInt> view_counts;
+  for (std::size_t index : witness.view_indices) {
+    view_counts.push_back(analysis.views[index].CountHomomorphisms(data));
+  }
+  for (const BigInt& count : view_counts) {
+    // Lemma 31 (⇐), Case 1 / Observation 26: a vanishing relevant view
+    // forces q(D) = 0.
+    if (count.IsZero()) return q_count.IsZero();
+  }
+  // Case 2: q(D)^c · Π_{α_j < 0} v_j(D)^{c·|α_j|} = Π_{α_j > 0} v_j(D)^{c·α_j}
+  // where c clears the denominators of the rational exponents α.
+  BigInt c = witness.exponents.CommonDenominator();
+  Rational c_rat{c};
+  BigInt lhs = BigInt::Pow(q_count, static_cast<std::uint64_t>(c.ToInt64()));
+  BigInt rhs(1);
+  for (std::size_t j = 0; j < view_counts.size(); ++j) {
+    Rational scaled = witness.exponents[j] * c_rat;
+    std::int64_t e = scaled.numerator().ToInt64();
+    if (e >= 0) {
+      rhs *= BigInt::Pow(view_counts[j], static_cast<std::uint64_t>(e));
+    } else {
+      lhs *= BigInt::Pow(view_counts[j], static_cast<std::uint64_t>(-e));
+    }
+  }
+  return lhs == rhs;
+}
+
+BigInt AnswerFromViewCounts(const DeterminacyWitness& witness,
+                            const std::vector<BigInt>& counts) {
+  if (counts.size() != witness.view_indices.size()) {
+    throw std::invalid_argument("AnswerFromViewCounts: wrong count arity");
+  }
+  for (const BigInt& count : counts) {
+    if (count.IsNegative()) {
+      throw std::invalid_argument("AnswerFromViewCounts: negative count");
+    }
+    if (count.IsZero()) return BigInt(0);  // Observation 26.
+  }
+  // q(D)^c = Π_{α_j > 0} v_j^{c·α_j} / Π_{α_j < 0} v_j^{c·|α_j|} with c
+  // clearing denominators; extract the exact c-th root at the end.
+  BigInt c = witness.exponents.CommonDenominator();
+  Rational c_rat{c};
+  BigInt numerator(1);
+  BigInt denominator(1);
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    Rational scaled = witness.exponents[j] * c_rat;
+    std::int64_t e = scaled.numerator().ToInt64();
+    if (e >= 0) {
+      numerator *= BigInt::Pow(counts[j], static_cast<std::uint64_t>(e));
+    } else {
+      denominator *= BigInt::Pow(counts[j], static_cast<std::uint64_t>(-e));
+    }
+  }
+  BigInt quotient, remainder;
+  BigInt::DivMod(numerator, denominator, &quotient, &remainder);
+  if (!remainder.IsZero()) {
+    throw std::invalid_argument(
+        "AnswerFromViewCounts: counts inconsistent with the witness "
+        "(non-integral power product)");
+  }
+  BigInt::RootResult root =
+      BigInt::KthRoot(quotient, static_cast<std::uint64_t>(c.ToInt64()));
+  if (!root.exact) {
+    throw std::invalid_argument(
+        "AnswerFromViewCounts: counts inconsistent with the witness "
+        "(power product is not a perfect power)");
+  }
+  return root.root;
+}
+
+std::optional<std::string> VerifyCounterexample(
+    const InstanceAnalysis& analysis,
+    const BagCounterexample& counterexample) {
+  for (std::size_t i = 0; i < analysis.views.size(); ++i) {
+    const ConjunctiveQuery& view = analysis.views[i];
+    BigInt on_d = CountHomsSymbolicAny(view.FrozenBody(), counterexample.d);
+    BigInt on_d_prime =
+        CountHomsSymbolicAny(view.FrozenBody(), counterexample.d_prime);
+    if (on_d != on_d_prime) {
+      return "view '" + view.name() + "' (index " + std::to_string(i) +
+             ") differs: " + on_d.ToString() + " vs " + on_d_prime.ToString();
+    }
+  }
+  BigInt q_on_d =
+      CountHomsSymbolicAny(analysis.query.FrozenBody(), counterexample.d);
+  BigInt q_on_d_prime = CountHomsSymbolicAny(analysis.query.FrozenBody(),
+                                             counterexample.d_prime);
+  if (q_on_d == q_on_d_prime) {
+    return "query agrees on both structures (" + q_on_d.ToString() +
+           "); not a counterexample";
+  }
+  return std::nullopt;
+}
+
+std::string DeterminacyResult::Summary() const {
+  std::ostringstream os;
+  os << "instance: q = " << analysis.query.ToString() << "; |V0| = "
+     << analysis.views.size() << ", |V| = " << analysis.relevant_views.size()
+     << ", k = |W| = " << analysis.basis_queries.size() << "\n";
+  if (determined) {
+    os << "V0 -->bag q: DETERMINED. Witness exponents (Lemma 31): q(D) = ";
+    if (witness->view_indices.empty()) {
+      os << "1";
+    } else {
+      for (std::size_t j = 0; j < witness->view_indices.size(); ++j) {
+        if (j != 0) os << " * ";
+        os << analysis.views[witness->view_indices[j]].name() << "(D)^("
+           << witness->exponents[j] << ")";
+      }
+    }
+    os << " when all listed views are positive; otherwise q(D) = 0.";
+  } else {
+    os << "V0 -/->bag q: NOT determined.";
+    if (counterexample.has_value()) {
+      os << " Counterexample over basis S of size "
+         << counterexample->basis_structures.size()
+         << ": D has coordinates " << counterexample->coeffs_d.ToString()
+         << ", D' has coordinates "
+         << counterexample->coeffs_d_prime.ToString()
+         << ", perturbation t = " << counterexample->t
+         << ", |dom(D)| = " << counterexample->d.DomainSize().ToString()
+         << ", |dom(D')| = " << counterexample->d_prime.DomainSize().ToString()
+         << ".";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bagdet

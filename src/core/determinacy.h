@@ -1,0 +1,130 @@
+// bagdet: bag-semantics determinacy of boolean conjunctive queries —
+// the paper's main result (Theorem 3) as a decision procedure with
+// certificates in both directions.
+//
+// Pipeline (Sections 4–7):
+//   1. V  = { v ∈ V0 : q ⊆set v }                       (Definition 25)
+//   2. W  = connected components of Σ_{v ∈ V∪{q}} v,
+//           deduplicated up to isomorphism               (Definition 27)
+//   3. vector representations v⃗, q⃗ over the basis W     (Definition 29)
+//   4. V0 ⟶bag q  ⇔  q⃗ ∈ span_Q{ v⃗ : v ∈ V }            (Main Lemma 31)
+//
+// When determined, the span coefficients α certify it concretely:
+//   q(D) = Π_j v_j(D)^α_j whenever all v_j(D) > 0, and q(D) = 0 otherwise
+// (proof of Lemma 31 (⇐)). When not determined, an explicit pair of
+// structures (D, D′) with equal view answers and different q-answers is
+// synthesized per Sections 5–7 (as StructureExpr terms, since the good
+// basis structures are astronomically large).
+
+#ifndef BAGDET_CORE_DETERMINACY_H_
+#define BAGDET_CORE_DETERMINACY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/distinguisher.h"
+#include "linalg/matrix.h"
+#include "query/cq.h"
+#include "structs/structure_expr.h"
+
+namespace bagdet {
+
+/// Everything the decision procedure derives from an instance (V0, q).
+struct InstanceAnalysis {
+  std::vector<ConjunctiveQuery> views;  ///< V0, as given.
+  ConjunctiveQuery query;               ///< q.
+
+  /// Indices into `views` of V = { v ∈ V0 : q ⊆set v } (Definition 25).
+  std::vector<std::size_t> relevant_views;
+
+  /// W — the basis queries (Definition 27): pairwise non-isomorphic
+  /// connected components of the frozen bodies of V ∪ {q}.
+  std::vector<Structure> basis_queries;
+
+  /// v⃗ for each member of `relevant_views` (Definition 29); dimension |W|.
+  std::vector<Vec> view_vectors;
+
+  /// q⃗.
+  Vec query_vector;
+};
+
+/// Computes the analysis. Throws std::invalid_argument when q or a view is
+/// not boolean, uses a nullary atom (the Theorem-3 machinery requires
+/// components with nonempty domains; see DESIGN.md), or schemas differ.
+InstanceAnalysis AnalyzeInstance(std::vector<ConjunctiveQuery> views,
+                                 ConjunctiveQuery query);
+
+/// Positive certificate: q(D) = Π_j views[view_indices[j]](D)^exponents[j]
+/// whenever every listed view count is positive; otherwise q(D) = 0.
+struct DeterminacyWitness {
+  std::vector<std::size_t> view_indices;  ///< Indices into V0.
+  Vec exponents;                          ///< Rational α (Lemma 31 (⇐)).
+};
+
+/// Negative certificate: structures D, D′ with v(D) = v(D′) for every
+/// v ∈ V0 but q(D) ≠ q(D′) (conditions (A), (B), (B0) of Section 5).
+struct BagCounterexample {
+  StructureExpr d;        ///< D  = Σ_i coeffs_d[i] · basis[i].
+  StructureExpr d_prime;  ///< D′ = Σ_i coeffs_d_prime[i] · basis[i].
+  Vec coeffs_d;           ///< Natural coordinates of D in the basis S.
+  Vec coeffs_d_prime;     ///< Natural coordinates of D′.
+  std::vector<StructureExpr> basis_structures;  ///< S — good basis (L. 40).
+  Mat evaluation_matrix;  ///< M(i,j) = w_i(s_j) (Definition 37).
+  Vec z;                  ///< Integer orthogonal witness (Fact 5).
+  Rational t;             ///< Perturbation factor of Lemma 56 (≠ 1).
+};
+
+struct DeterminacyOptions {
+  /// Synthesize the counterexample when the answer is "not determined"
+  /// (it can be exponentially larger than the decision itself).
+  bool want_counterexample = true;
+  DistinguisherOptions distinguisher;
+};
+
+/// Outcome of the decision procedure.
+struct DeterminacyResult {
+  bool determined = false;
+  std::optional<DeterminacyWitness> witness;          ///< Set iff determined.
+  std::optional<BagCounterexample> counterexample;    ///< Set iff requested
+                                                      ///< and not determined.
+  InstanceAnalysis analysis;
+
+  /// Human-readable summary of the verdict and certificate.
+  std::string Summary() const;
+};
+
+/// Decides whether V0 ⟶bag q (Theorem 3).
+DeterminacyResult DecideBagDeterminacy(
+    std::vector<ConjunctiveQuery> views, ConjunctiveQuery query,
+    const DeterminacyOptions& options = DeterminacyOptions());
+
+/// Checks the witness formula on one concrete structure:
+/// returns true iff q(D) matches Π v_j(D)^α_j (or 0 when some v_j(D) = 0).
+/// Exact; rational exponents are handled by checking the cleared-denominator
+/// power identity q(D)^c · Π_{α_j<0} v_j(D)^{c·|α_j|} = Π_{α_j>0} v_j(D)^{c·α_j}.
+bool CheckWitnessOnStructure(const InstanceAnalysis& analysis,
+                             const DeterminacyWitness& witness,
+                             const Structure& data);
+
+/// Answers q from the view *counts alone* — the whole point of a positive
+/// determinacy verdict. Given counts[i] = views[witness.view_indices[i]](D)
+/// for an (unseen) database D, returns q(D):
+///   * 0 when some relevant view count is 0 (Observation 26);
+///   * otherwise the exact value of Π_j counts[j]^{α_j}, computed with
+///     BigInt powers and exact root extraction for rational exponents.
+/// Throws std::invalid_argument when the counts are inconsistent with the
+/// witness (e.g. the power product is not a perfect power — impossible for
+/// counts coming from a real database when the witness is valid).
+BigInt AnswerFromViewCounts(const DeterminacyWitness& witness,
+                            const std::vector<BigInt>& counts);
+
+/// Exhaustively verifies a counterexample: every view of V0 agrees on
+/// (D, D′) and q differs — all counts evaluated exactly (symbolically).
+/// Returns a diagnostic message on failure, std::nullopt on success.
+std::optional<std::string> VerifyCounterexample(
+    const InstanceAnalysis& analysis, const BagCounterexample& counterexample);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_CORE_DETERMINACY_H_

@@ -1,0 +1,55 @@
+// bagdet: distinguishing structures (Step 1 of Lemma 40).
+//
+// The paper invokes Lemma 43 (Lovász) purely existentially: for
+// non-isomorphic G, G′ there is some H with |hom(G,H)| ≠ |hom(G′,H)|.
+// We make this step constructive. Writing sur(G, H) for the number of
+// vertex-surjective homomorphisms, inclusion–exclusion over induced
+// substructures gives
+//
+//   sur(G, H) = Σ_{Y ⊆ dom(H)} (-1)^{|dom(H)|-|Y|} · hom(G, H[Y]),
+//
+// so if hom(G, ·) and hom(G′, ·) agree on every induced substructure of G
+// and of G′, then sur(G, G′) = sur(G′, G′) ≥ 1 and sur(G′, G) =
+// sur(G, G) ≥ 1; two vertex-bijective homomorphisms in opposite directions
+// between finite structures compose to a bijective endomorphism, which is
+// an automorphism (its image of the fact set has the same finite
+// cardinality), forcing G ≅ G′. Hence for non-isomorphic inputs some
+// induced substructure of one of them is a distinguisher — a complete,
+// finite candidate family of size ≤ 2^|dom(G)| + 2^|dom(G′)|.
+
+#ifndef BAGDET_CORE_DISTINGUISHER_H_
+#define BAGDET_CORE_DISTINGUISHER_H_
+
+#include <optional>
+
+#include "structs/structure.h"
+
+namespace bagdet {
+
+struct DistinguisherOptions {
+  /// Upper bound on the domain size for the (complete) induced-substructure
+  /// sweep; above it only the cheap candidates and random search run.
+  std::size_t max_subset_domain = 16;
+  /// Random fallback: number of attempts and maximal random domain size.
+  int random_attempts = 512;
+  std::size_t max_random_domain = 4;
+  /// RNG seed for the fallback.
+  std::uint64_t seed = 17;
+};
+
+/// Finds a structure H with |hom(a, H)| ≠ |hom(b, H)|.
+/// Returns std::nullopt when a ≅ b (no such H exists) — and, if the inputs
+/// exceed every search bound, throws std::runtime_error (cannot happen for
+/// query-sized components within max_subset_domain).
+std::optional<Structure> FindDistinguisher(
+    const Structure& a, const Structure& b,
+    const DistinguisherOptions& options = DistinguisherOptions());
+
+/// The induced substructure of `s` on the element subset encoded by `mask`
+/// (bit i set = element i kept). Elements are renamed to 0..popcount-1 in
+/// increasing order.
+Structure InducedSubstructure(const Structure& s, std::uint64_t mask);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_CORE_DISTINGUISHER_H_

@@ -1,0 +1,156 @@
+#include "hilbert/polynomial.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace bagdet {
+
+BigInt Monomial::Evaluate(const std::vector<std::uint64_t>& values) const {
+  BigInt result(coefficient);
+  for (std::size_t x = 0; x < exponents.size(); ++x) {
+    if (exponents[x] == 0) continue;
+    if (x >= values.size()) {
+      throw std::invalid_argument("Monomial: missing unknown value");
+    }
+    result *= BigInt::Pow(BigInt(static_cast<std::int64_t>(values[x])),
+                          exponents[x]);
+  }
+  return result;
+}
+
+DiophantineInstance::DiophantineInstance(std::vector<Monomial> monomials)
+    : monomials_(std::move(monomials)) {
+  for (const Monomial& m : monomials_) {
+    if (m.coefficient == 0) {
+      throw std::invalid_argument("DiophantineInstance: zero coefficient");
+    }
+    if (m.exponents.size() > num_unknowns_) num_unknowns_ = m.exponents.size();
+  }
+}
+
+DiophantineInstance DiophantineInstance::Parse(std::string_view text) {
+  std::vector<Monomial> monomials;
+  std::size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  auto parse_number = [&]() -> std::int64_t {
+    std::int64_t value = 0;
+    bool any = false;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      value = value * 10 + (text[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) throw std::invalid_argument("polynomial parse: expected digits");
+    return value;
+  };
+  skip_space();
+  bool first = true;
+  while (pos < text.size()) {
+    int sign = 1;
+    skip_space();
+    if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+      sign = text[pos] == '-' ? -1 : 1;
+      ++pos;
+    } else if (!first) {
+      throw std::invalid_argument("polynomial parse: expected '+' or '-'");
+    }
+    first = false;
+    skip_space();
+    Monomial m;
+    m.coefficient = sign;
+    bool saw_factor = false;
+    for (;;) {
+      skip_space();
+      if (pos < text.size() && text[pos] == '*') {
+        ++pos;
+        skip_space();
+      }
+      if (pos < text.size() &&
+          std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        m.coefficient *= parse_number();
+        saw_factor = true;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == 'x') {
+        ++pos;
+        std::size_t index = static_cast<std::size_t>(parse_number());
+        std::uint32_t degree = 1;
+        skip_space();
+        if (pos < text.size() && text[pos] == '^') {
+          ++pos;
+          degree = static_cast<std::uint32_t>(parse_number());
+        }
+        if (m.exponents.size() <= index) m.exponents.resize(index + 1, 0);
+        m.exponents[index] += degree;
+        saw_factor = true;
+        continue;
+      }
+      break;
+    }
+    if (!saw_factor) {
+      throw std::invalid_argument("polynomial parse: empty monomial in '" +
+                                  std::string(text) + "'");
+    }
+    if (m.coefficient != 0) monomials.push_back(std::move(m));
+  }
+  return DiophantineInstance(std::move(monomials));
+}
+
+BigInt DiophantineInstance::Evaluate(
+    const std::vector<std::uint64_t>& values) const {
+  BigInt total(0);
+  for (const Monomial& m : monomials_) total += m.Evaluate(values);
+  return total;
+}
+
+std::optional<std::vector<std::uint64_t>> DiophantineInstance::FindSolution(
+    std::uint64_t bound) const {
+  std::vector<std::uint64_t> values(num_unknowns_, 0);
+  for (;;) {
+    if (Evaluate(values).IsZero()) return values;
+    std::size_t i = 0;
+    while (i < num_unknowns_ && ++values[i] > bound) {
+      values[i] = 0;
+      ++i;
+    }
+    if (i == num_unknowns_) return std::nullopt;
+  }
+}
+
+std::string DiophantineInstance::ToString() const {
+  if (monomials_.empty()) return "0";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < monomials_.size(); ++i) {
+    const Monomial& m = monomials_[i];
+    std::int64_t c = m.coefficient;
+    if (i == 0) {
+      if (c < 0) os << "-";
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    std::int64_t abs = c < 0 ? -c : c;
+    bool printed = false;
+    if (abs != 1) {
+      os << abs;
+      printed = true;
+    }
+    for (std::size_t x = 0; x < m.exponents.size(); ++x) {
+      if (m.exponents[x] == 0) continue;
+      if (printed) os << "*";
+      os << "x" << x;
+      if (m.exponents[x] > 1) os << "^" << m.exponents[x];
+      printed = true;
+    }
+    if (!printed) os << 1;
+  }
+  return os.str();
+}
+
+}  // namespace bagdet

@@ -1,0 +1,65 @@
+// bagdet: integer polynomials as sets of monomials — the instances of
+// Hilbert's Tenth Problem that the Theorem-2 reduction consumes
+// (Appendix A, Problem 58).
+
+#ifndef BAGDET_HILBERT_POLYNOMIAL_H_
+#define BAGDET_HILBERT_POLYNOMIAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bigint.h"
+
+namespace bagdet {
+
+/// A monomial c · x_0^{e_0} · ... · x_{n-1}^{e_{n-1}} with integer c ≠ 0.
+struct Monomial {
+  std::int64_t coefficient = 0;
+  std::vector<std::uint32_t> exponents;  ///< Degree per unknown; may be
+                                         ///< shorter than the unknown count.
+
+  /// Degree of unknown `x` (0 when x is beyond `exponents`).
+  std::uint32_t Degree(std::size_t x) const {
+    return x < exponents.size() ? exponents[x] : 0;
+  }
+
+  /// Value after substituting the given unknowns (paper's m_D / m_f).
+  BigInt Evaluate(const std::vector<std::uint64_t>& values) const;
+};
+
+/// An instance I of Hilbert's Tenth Problem: does Σ_{m ∈ I} m = 0 have a
+/// solution over the natural numbers?
+class DiophantineInstance {
+ public:
+  DiophantineInstance() = default;
+  explicit DiophantineInstance(std::vector<Monomial> monomials);
+
+  /// Parses e.g. "x0^2*x1 - 2*x1 + 7" (unknowns are x0, x1, ...; '*' is
+  /// optional between factors). Throws std::invalid_argument on bad input.
+  static DiophantineInstance Parse(std::string_view text);
+
+  const std::vector<Monomial>& monomials() const { return monomials_; }
+  std::size_t NumUnknowns() const { return num_unknowns_; }
+
+  /// Σ_{m ∈ I} m at the given point.
+  BigInt Evaluate(const std::vector<std::uint64_t>& values) const;
+
+  /// Exhaustive search for a solution with every unknown ≤ bound.
+  /// Semi-decision only — the full problem is undecidable, which is the
+  /// point of Theorem 2.
+  std::optional<std::vector<std::uint64_t>> FindSolution(
+      std::uint64_t bound) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Monomial> monomials_;
+  std::size_t num_unknowns_ = 0;
+};
+
+}  // namespace bagdet
+
+#endif  // BAGDET_HILBERT_POLYNOMIAL_H_

@@ -1,0 +1,63 @@
+#include "hilbert/search.h"
+
+namespace bagdet {
+
+namespace {
+
+/// Advances a mixed-radix odometer over X-counts; returns false on wrap.
+bool NextCounts(std::vector<std::uint64_t>* counts, std::uint64_t bound) {
+  for (std::size_t i = 0; i < counts->size(); ++i) {
+    if (++(*counts)[i] <= bound) return true;
+    (*counts)[i] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<NonDeterminacyWitness> SearchNonDeterminacy(
+    const Theorem2Reduction& reduction, std::uint64_t bound) {
+  // Materialize all summaries with their view/query counts first.
+  struct Entry {
+    bool has_h;
+    bool has_c;
+    std::vector<std::uint64_t> x_counts;
+    std::vector<BigInt> views;
+    BigInt query;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::uint64_t> x_counts(reduction.x_relations.size(), 0);
+  do {
+    for (int h = 0; h <= 1; ++h) {
+      for (int c = 0; c <= 1; ++c) {
+        Structure d = reduction.MakeStructure(h == 1, c == 1, x_counts);
+        Entry entry;
+        entry.has_h = h == 1;
+        entry.has_c = c == 1;
+        entry.x_counts = x_counts;
+        entry.views = reduction.EvaluateViews(d);
+        entry.query = reduction.query.Count(d);
+        entries.push_back(std::move(entry));
+      }
+    }
+  } while (NextCounts(&x_counts, bound));
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      if (entries[i].views != entries[j].views) continue;
+      if (entries[i].query == entries[j].query) continue;
+      NonDeterminacyWitness witness;
+      witness.d = reduction.MakeStructure(entries[i].has_h, entries[i].has_c,
+                                          entries[i].x_counts);
+      witness.d_prime = reduction.MakeStructure(
+          entries[j].has_h, entries[j].has_c, entries[j].x_counts);
+      witness.view_counts = entries[i].views;
+      witness.query_count_d = entries[i].query;
+      witness.query_count_d_prime = entries[j].query;
+      return witness;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bagdet

@@ -1,0 +1,41 @@
+// bagdet: bounded refutation search for UCQ bag-determinacy.
+//
+// Theorem 2 makes the problem undecidable in general, so all one can do is
+// search: sweep structure summaries (D_H, D_C, D_X0..) up to a bound and
+// look for a pair with equal view answers and different query answers.
+// For instances emitted by the Theorem-2 reduction this is exactly a
+// bounded Hilbert-10 solution search (Lemma 63), but the routine works for
+// any views/query over the reduction's schema shape.
+
+#ifndef BAGDET_HILBERT_SEARCH_H_
+#define BAGDET_HILBERT_SEARCH_H_
+
+#include <optional>
+
+#include "hilbert/reduction.h"
+
+namespace bagdet {
+
+/// A refutation of determinacy: structure pair with equal view counts and
+/// different query counts.
+struct NonDeterminacyWitness {
+  Structure d;
+  Structure d_prime;
+  std::vector<BigInt> view_counts;  ///< Shared by both structures.
+  BigInt query_count_d;
+  BigInt query_count_d_prime;
+};
+
+/// Sweeps all structure summaries with every X-count <= bound and both
+/// H/C flag combinations, looking for a refuting pair. By Lemma 62, for
+/// reduction-emitted instances the only candidate pairs flip H against C
+/// at equal X-counts — but the search checks *all* summary pairs, so it is
+/// a sound refutation search for any instance over this schema shape.
+/// Returns std::nullopt when no refutation exists within the bound (which
+/// proves nothing beyond the bound — Theorem 2!).
+std::optional<NonDeterminacyWitness> SearchNonDeterminacy(
+    const Theorem2Reduction& reduction, std::uint64_t bound);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_HILBERT_SEARCH_H_

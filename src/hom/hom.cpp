@@ -1,0 +1,368 @@
+#include "hom/hom.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace bagdet {
+
+namespace {
+
+constexpr Element kUnassigned = static_cast<Element>(-1);
+
+/// A unit of backtracking work: match one atom of `from` against the facts
+/// of `to`, or choose the image of one isolated element.
+struct Task {
+  bool is_atom = true;
+  RelationId relation = 0;
+  Tuple atom;          // Elements of `from` (is_atom).
+  Element element = 0; // Isolated element (!is_atom).
+};
+
+/// Orders the atoms of a structure so that each atom (after the first of
+/// its component) shares an element with an earlier one, which keeps the
+/// join branching factor low. Isolated elements come last.
+std::vector<Task> PlanTasks(const Structure& from) {
+  std::vector<Task> atoms;
+  for (RelationId r = 0; r < from.schema().NumRelations(); ++r) {
+    for (const Tuple& t : from.Facts(r)) {
+      Task task;
+      task.relation = r;
+      task.atom = t;
+      atoms.push_back(std::move(task));
+    }
+  }
+  std::vector<bool> seen_element(from.DomainSize(), false);
+  std::vector<bool> done(atoms.size(), false);
+  std::vector<Task> plan;
+  plan.reserve(atoms.size());
+  for (std::size_t round = 0; round < atoms.size(); ++round) {
+    // Pick the not-yet-planned atom with the most already-seen elements.
+    std::size_t best = atoms.size();
+    int best_score = -1;
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (done[i]) continue;
+      int score = 0;
+      for (Element e : atoms[i].atom) score += seen_element[e] ? 1 : 0;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    done[best] = true;
+    for (Element e : atoms[best].atom) seen_element[e] = true;
+    plan.push_back(std::move(atoms[best]));
+  }
+  for (Element e = 0; e < from.DomainSize(); ++e) {
+    if (!seen_element[e]) {
+      Task task;
+      task.is_atom = false;
+      task.element = e;
+      plan.push_back(std::move(task));
+    }
+  }
+  return plan;
+}
+
+/// Shared backtracking engine. `visit` is called at every complete
+/// assignment; returning false aborts the search. `used` is non-null for
+/// injective matching.
+class Matcher {
+ public:
+  Matcher(const Structure& from, const Structure& to,
+          const std::function<bool(const std::vector<Element>&)>& visit,
+          std::vector<bool>* used)
+      : to_(to), visit_(visit), used_(used),
+        assignment_(from.DomainSize(), kUnassigned),
+        plan_(PlanTasks(from)) {}
+
+  /// Returns false iff the visitor aborted.
+  bool Run() { return RunFrom(0); }
+
+ private:
+  bool RunFrom(std::size_t task_index) {
+    if (task_index == plan_.size()) return visit_(assignment_);
+    const Task& task = plan_[task_index];
+    if (!task.is_atom) {
+      for (Element image = 0; image < to_.DomainSize(); ++image) {
+        if (used_ != nullptr && (*used_)[image]) continue;
+        assignment_[task.element] = image;
+        if (used_ != nullptr) (*used_)[image] = true;
+        bool keep_going = RunFrom(task_index + 1);
+        if (used_ != nullptr) (*used_)[image] = false;
+        assignment_[task.element] = kUnassigned;
+        if (!keep_going) return false;
+      }
+      return true;
+    }
+    const std::vector<Tuple>& facts = to_.Facts(task.relation);
+    if (task.atom.empty()) {
+      // Nullary atom: present or not, no bindings.
+      if (facts.empty()) return true;
+      return RunFrom(task_index + 1);
+    }
+    auto begin = facts.begin();
+    auto end = facts.end();
+    // Facts are sorted lexicographically: narrow by the first position when
+    // it is already bound.
+    Element first = assignment_[task.atom[0]];
+    if (first != kUnassigned) {
+      Tuple lo{first};
+      Tuple hi{first + 1};
+      begin = std::lower_bound(facts.begin(), facts.end(), lo);
+      end = std::lower_bound(facts.begin(), facts.end(), hi);
+    }
+    for (auto it = begin; it != end; ++it) {
+      const Tuple& fact = *it;
+      // Try to unify the atom with this fact.
+      std::vector<Element> bound;
+      bool ok = true;
+      for (std::size_t pos = 0; pos < fact.size() && ok; ++pos) {
+        Element var = task.atom[pos];
+        if (assignment_[var] == kUnassigned) {
+          if (used_ != nullptr && (*used_)[fact[pos]]) {
+            ok = false;
+            break;
+          }
+          assignment_[var] = fact[pos];
+          if (used_ != nullptr) (*used_)[fact[pos]] = true;
+          bound.push_back(var);
+        } else if (assignment_[var] != fact[pos]) {
+          ok = false;
+        }
+      }
+      bool keep_going = true;
+      if (ok) keep_going = RunFrom(task_index + 1);
+      for (auto rit = bound.rbegin(); rit != bound.rend(); ++rit) {
+        if (used_ != nullptr) (*used_)[assignment_[*rit]] = false;
+        assignment_[*rit] = kUnassigned;
+      }
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Structure& to_;
+  const std::function<bool(const std::vector<Element>&)>& visit_;
+  std::vector<bool>* used_;
+  std::vector<Element> assignment_;
+  std::vector<Task> plan_;
+};
+
+/// Counts homomorphisms of a single *connected* component by variable
+/// elimination: a count-annotated join plan over the atoms, projecting out
+/// every variable after its last use. Unlike enumeration this runs in time
+/// polynomial in the table sizes, not in the (possibly astronomical)
+/// number of homomorphisms — e.g. hom(path, clique) stays linear while the
+/// count itself is exponential.
+BigInt CountComponent(const Structure& component, const Structure& to) {
+  if (component.DomainSize() == 0) {
+    // A lone nullary fact: one hom when present, none otherwise.
+    for (RelationId r = 0; r < component.schema().NumRelations(); ++r) {
+      if (!component.Facts(r).empty() && to.Facts(r).empty()) return BigInt(0);
+    }
+    return BigInt(1);
+  }
+  if (component.NumFacts() == 0) {
+    // Isolated element: any image works.
+    return BigInt(static_cast<std::int64_t>(to.DomainSize()));
+  }
+  std::vector<Task> plan = PlanTasks(component);
+  // Last task index using each element of the component.
+  std::vector<std::size_t> last_use(component.DomainSize(), 0);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    for (Element e : plan[i].atom) last_use[e] = i;
+  }
+  // The table maps assignments of the live variables (kept sorted by
+  // variable id in `live`) to the number of extensions producing them.
+  std::vector<Element> live;
+  std::map<std::vector<Element>, BigInt> table;
+  table.emplace(std::vector<Element>{}, BigInt(1));
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const Task& task = plan[i];
+    const std::vector<Tuple>& facts = to.Facts(task.relation);
+    // New live set: current ∪ atom vars, minus vars last used here.
+    std::vector<Element> next_live = live;
+    for (Element var : task.atom) {
+      if (std::find(next_live.begin(), next_live.end(), var) ==
+          next_live.end()) {
+        next_live.push_back(var);
+      }
+    }
+    std::sort(next_live.begin(), next_live.end());
+    next_live.erase(std::unique(next_live.begin(), next_live.end()),
+                    next_live.end());
+    std::vector<Element> kept;
+    for (Element var : next_live) {
+      if (last_use[var] > i) kept.push_back(var);
+    }
+    // Positions of atom vars and kept vars within the joined assignment.
+    auto index_of = [](const std::vector<Element>& vars, Element var) {
+      return static_cast<std::size_t>(
+          std::find(vars.begin(), vars.end(), var) - vars.begin());
+    };
+    std::map<std::vector<Element>, BigInt> next_table;
+    for (const auto& [assignment, count] : table) {
+      for (const Tuple& fact : facts) {
+        // Unify the atom against this fact under the current assignment.
+        std::vector<Element> joined(next_live.size(), kUnassigned);
+        for (std::size_t v = 0; v < live.size(); ++v) {
+          joined[index_of(next_live, live[v])] = assignment[v];
+        }
+        bool ok = true;
+        for (std::size_t pos = 0; pos < fact.size() && ok; ++pos) {
+          std::size_t slot = index_of(next_live, task.atom[pos]);
+          if (joined[slot] == kUnassigned) {
+            joined[slot] = fact[pos];
+          } else if (joined[slot] != fact[pos]) {
+            ok = false;
+          }
+        }
+        if (!ok) continue;
+        std::vector<Element> projected(kept.size());
+        for (std::size_t v = 0; v < kept.size(); ++v) {
+          projected[v] = joined[index_of(next_live, kept[v])];
+        }
+        next_table[std::move(projected)] += count;
+      }
+    }
+    live = std::move(kept);
+    table = std::move(next_table);
+    if (table.empty()) return BigInt(0);
+  }
+  BigInt total(0);
+  for (const auto& [assignment, count] : table) total += count;
+  return total;
+}
+
+}  // namespace
+
+BigInt CountHoms(const Structure& from, const Structure& to) {
+  BigInt product(1);
+  for (const Structure& component : ConnectedComponents(from)) {
+    BigInt c = CountComponent(component, to);
+    if (c.IsZero()) return BigInt(0);
+    product *= c;
+  }
+  return product;
+}
+
+bool ExistsHom(const Structure& from, const Structure& to) {
+  for (const Structure& component : ConnectedComponents(from)) {
+    if (component.DomainSize() == 0) {
+      bool present = true;
+      for (RelationId r = 0; r < component.schema().NumRelations(); ++r) {
+        if (!component.Facts(r).empty() && to.Facts(r).empty()) present = false;
+      }
+      if (!present) return false;
+      continue;
+    }
+    if (component.NumFacts() == 0) {
+      if (to.DomainSize() == 0) return false;
+      continue;
+    }
+    bool found = false;
+    std::function<bool(const std::vector<Element>&)> visit =
+        [&found](const std::vector<Element>&) {
+          found = true;
+          return false;  // Stop at the first hit.
+        };
+    Matcher matcher(component, to, visit, nullptr);
+    matcher.Run();
+    if (!found) return false;
+  }
+  return true;
+}
+
+BigInt CountInjectiveHoms(const Structure& from, const Structure& to) {
+  if (from.DomainSize() > to.DomainSize()) return BigInt(0);
+  // Injectivity couples components, so match the whole structure at once.
+  BigInt count(0);
+  std::function<bool(const std::vector<Element>&)> visit =
+      [&count](const std::vector<Element>&) {
+        count += BigInt(1);
+        return true;
+      };
+  // Nullary facts must still be present.
+  for (RelationId r = 0; r < from.schema().NumRelations(); ++r) {
+    if (from.schema().Arity(r) == 0 && !from.Facts(r).empty() &&
+        to.Facts(r).empty()) {
+      return BigInt(0);
+    }
+  }
+  std::vector<bool> used(to.DomainSize(), false);
+  Matcher matcher(from, to, visit, &used);
+  matcher.Run();
+  return count;
+}
+
+BigInt CountHomsByEnumeration(const Structure& from, const Structure& to) {
+  BigInt count(0);
+  std::function<bool(const std::vector<Element>&)> visit =
+      [&count](const std::vector<Element>&) {
+        count += BigInt(1);
+        return true;
+      };
+  for (RelationId r = 0; r < from.schema().NumRelations(); ++r) {
+    if (from.schema().Arity(r) == 0 && !from.Facts(r).empty() &&
+        to.Facts(r).empty()) {
+      return BigInt(0);
+    }
+  }
+  Matcher matcher(from, to, visit, nullptr);
+  matcher.Run();
+  return count;
+}
+
+BigInt CountHomsNaive(const Structure& from, const Structure& to) {
+  const std::size_t n = from.DomainSize();
+  const std::size_t m = to.DomainSize();
+  // Check nullary facts up front.
+  for (RelationId r = 0; r < from.schema().NumRelations(); ++r) {
+    if (from.schema().Arity(r) == 0 && !from.Facts(r).empty() &&
+        to.Facts(r).empty()) {
+      return BigInt(0);
+    }
+  }
+  if (n == 0) return BigInt(1);
+  if (m == 0) return BigInt(0);
+  std::vector<Element> assignment(n, 0);
+  BigInt count(0);
+  for (;;) {
+    bool ok = true;
+    for (RelationId r = 0; r < from.schema().NumRelations() && ok; ++r) {
+      for (const Tuple& t : from.Facts(r)) {
+        Tuple image(t.size());
+        for (std::size_t i = 0; i < t.size(); ++i) image[i] = assignment[t[i]];
+        if (!to.HasFact(r, image)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) count += BigInt(1);
+    // Advance the odometer.
+    std::size_t i = 0;
+    while (i < n && ++assignment[i] == m) {
+      assignment[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return count;
+}
+
+bool EnumerateHoms(
+    const Structure& from, const Structure& to,
+    const std::function<bool(const std::vector<Element>&)>& visit) {
+  for (RelationId r = 0; r < from.schema().NumRelations(); ++r) {
+    if (from.schema().Arity(r) == 0 && !from.Facts(r).empty() &&
+        to.Facts(r).empty()) {
+      return true;  // No homs; vacuously completed.
+    }
+  }
+  Matcher matcher(from, to, visit, nullptr);
+  return matcher.Run();
+}
+
+}  // namespace bagdet

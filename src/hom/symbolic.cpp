@@ -1,0 +1,57 @@
+#include "hom/symbolic.h"
+
+#include <stdexcept>
+
+#include "hom/hom.h"
+
+namespace bagdet {
+
+namespace {
+
+BigInt Eval(const Structure& from, const StructureExpr& expr) {
+  switch (expr.kind()) {
+    case StructureExpr::Kind::kBase:
+      return CountHoms(from, expr.base());
+    case StructureExpr::Kind::kSum: {
+      BigInt total(0);
+      for (const StructureExpr& child : expr.children()) {
+        total += Eval(from, child);
+      }
+      return total;
+    }
+    case StructureExpr::Kind::kProduct: {
+      BigInt total(1);
+      for (const StructureExpr& child : expr.children()) {
+        total *= Eval(from, child);
+        if (total.IsZero()) return total;
+      }
+      return total;
+    }
+    case StructureExpr::Kind::kScalar:
+      return expr.scalar() * Eval(from, expr.children()[0]);
+    case StructureExpr::Kind::kPower:
+      return BigInt::Pow(Eval(from, expr.children()[0]), expr.exponent());
+  }
+  throw std::logic_error("CountHomsSymbolic: bad kind");
+}
+
+}  // namespace
+
+BigInt CountHomsSymbolic(const Structure& from, const StructureExpr& expr) {
+  if (from.DomainSize() == 0 || !from.IsConnected()) {
+    throw std::invalid_argument(
+        "CountHomsSymbolic: source must be connected with nonempty domain");
+  }
+  return Eval(from, expr);
+}
+
+BigInt CountHomsSymbolicAny(const Structure& from, const StructureExpr& expr) {
+  BigInt product(1);
+  for (const Structure& component : ConnectedComponents(from)) {
+    product *= CountHomsSymbolic(component, expr);
+    if (product.IsZero()) return product;
+  }
+  return product;
+}
+
+}  // namespace bagdet

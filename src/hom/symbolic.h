@@ -1,0 +1,37 @@
+// bagdet: symbolic homomorphism counting into StructureExpr terms.
+//
+// Lemma 4 of the paper turns structure algebra into count algebra:
+//   hom(A, B + C) = hom(A, B) + hom(A, C)   (A connected)
+//   hom(A, t·B)   = t · hom(A, B)           (A connected)
+//   hom(A, B × C) = hom(A, B) · hom(A, C)
+//   hom(A, B^t)   = hom(A, B)^t
+// This lets us evaluate hom counts into terms whose materialization would
+// be astronomically large (the good basis structures of Lemma 40).
+
+#ifndef BAGDET_HOM_SYMBOLIC_H_
+#define BAGDET_HOM_SYMBOLIC_H_
+
+#include "structs/structure.h"
+#include "structs/structure_expr.h"
+#include "util/bigint.h"
+
+namespace bagdet {
+
+/// Number of homomorphisms from the *connected* structure `from` (nonempty
+/// domain) into the structure denoted by `expr`, evaluated via Lemma 4
+/// without materializing `expr`.
+///
+/// Throws std::invalid_argument when `from` is not connected or has an
+/// empty domain (the sum/scalar laws of Lemma 4 require connectedness, and
+/// empty-domain components — nullary facts — do not satisfy them).
+BigInt CountHomsSymbolic(const Structure& from, const StructureExpr& expr);
+
+/// Number of homomorphisms from an arbitrary structure into `expr`:
+/// decomposes `from` into connected components and multiplies the
+/// per-component symbolic counts (Lemma 4(5)). Same empty-domain-component
+/// restriction as above.
+BigInt CountHomsSymbolicAny(const Structure& from, const StructureExpr& expr);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_HOM_SYMBOLIC_H_

@@ -1,0 +1,36 @@
+#include "linalg/cone.h"
+
+#include <stdexcept>
+
+namespace bagdet {
+
+SimplicialCone::SimplicialCone(Mat m) : matrix_(std::move(m)) {
+  std::optional<Mat> inverse = Inverse(matrix_);
+  if (!inverse.has_value()) {
+    throw std::invalid_argument("SimplicialCone: matrix is singular");
+  }
+  inverse_ = std::move(*inverse);
+}
+
+bool SimplicialCone::StrictlyContains(const Vec& point) const {
+  Vec coords = Coordinates(point);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (coords[i].Sign() <= 0) return false;
+  }
+  return true;
+}
+
+Vec SimplicialCone::InteriorPoint() const {
+  Vec ones(Dimension());
+  for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = Rational(1);
+  return matrix_.Apply(ones);
+}
+
+std::optional<BigInt> SimplicialCone::ScaleIntoLattice(
+    const Vec& point) const {
+  Vec coords = Coordinates(point);
+  if (!coords.IsNonNegative()) return std::nullopt;
+  return coords.CommonDenominator();
+}
+
+}  // namespace bagdet

@@ -1,0 +1,68 @@
+#include "path/matrix_semantics.h"
+
+namespace bagdet {
+
+CountMatrix IdentityCountMatrix(std::size_t n) {
+  CountMatrix m(n, std::vector<BigInt>(n, BigInt(0)));
+  for (std::size_t i = 0; i < n; ++i) m[i][i] = BigInt(1);
+  return m;
+}
+
+CountMatrix IncidenceMatrix(const Structure& data, RelationId relation) {
+  const std::size_t n = data.DomainSize();
+  CountMatrix m(n, std::vector<BigInt>(n, BigInt(0)));
+  for (const Tuple& t : data.Facts(relation)) {
+    m[t[0]][t[1]] = BigInt(1);
+  }
+  return m;
+}
+
+CountMatrix MultiplyCountMatrices(const CountMatrix& a, const CountMatrix& b) {
+  const std::size_t n = a.size();
+  CountMatrix result(n, std::vector<BigInt>(n, BigInt(0)));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (a[i][k].IsZero()) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (b[k][j].IsZero()) continue;
+        result[i][j] += a[i][k] * b[k][j];
+      }
+    }
+  }
+  return result;
+}
+
+CountMatrix WordMatrix(const Structure& data, const PathQuery& query) {
+  CountMatrix m = IdentityCountMatrix(data.DomainSize());
+  // M^D_{R·w} = M^D_R · M^D_w, so multiply letters left to right on the
+  // left of the accumulated suffix matrix — equivalently accumulate from
+  // the back.
+  for (std::size_t i = query.Length(); i-- > 0;) {
+    m = MultiplyCountMatrices(IncidenceMatrix(data, query.word()[i]), m);
+  }
+  return m;
+}
+
+AnswerBag EvaluatePathQuery(const Structure& data, const PathQuery& query) {
+  CountMatrix m = WordMatrix(data, query);
+  AnswerBag answers;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      if (!m[i][j].IsZero()) {
+        answers[{static_cast<Element>(i), static_cast<Element>(j)}] = m[i][j];
+      }
+    }
+  }
+  return answers;
+}
+
+BigInt CountPathHoms(const Structure& data, const PathQuery& query) {
+  CountMatrix m = WordMatrix(data, query);
+  BigInt total(0);
+  for (const auto& row : m) {
+    for (const BigInt& entry : row) total += entry;
+  }
+  return total;
+}
+
+}  // namespace bagdet

@@ -1,0 +1,43 @@
+// bagdet: incidence-matrix semantics of path queries (Definitions 16–17,
+// Fact 18): for a word w and structure D over a binary schema,
+// w(D)[a_i, a_j] = M^D_w(i, j) where M^D_w is the product of the incidence
+// matrices of the letters of w. Used to evaluate path-query answer bags and
+// to cross-validate the Theorem-1 procedure.
+
+#ifndef BAGDET_PATH_MATRIX_SEMANTICS_H_
+#define BAGDET_PATH_MATRIX_SEMANTICS_H_
+
+#include <vector>
+
+#include "path/path_query.h"
+#include "query/cq.h"
+#include "util/bigint.h"
+
+namespace bagdet {
+
+/// Dense nonnegative integer count matrix (n × n over a shared domain).
+using CountMatrix = std::vector<std::vector<BigInt>>;
+
+/// The n × n identity (M^D_ε of Definition 17).
+CountMatrix IdentityCountMatrix(std::size_t n);
+
+/// Incidence matrix M^D_R (Definition 16).
+CountMatrix IncidenceMatrix(const Structure& data, RelationId relation);
+
+/// Plain matrix product.
+CountMatrix MultiplyCountMatrices(const CountMatrix& a, const CountMatrix& b);
+
+/// M^D_w for the word of `query` (Definition 17: M^D_{Rw} = M^D_R · M^D_w).
+CountMatrix WordMatrix(const Structure& data, const PathQuery& query);
+
+/// The answer bag of the (binary) path query: (a_i, a_j) ↦ M^D_w(i, j)
+/// (Fact 18). Zero entries are omitted.
+AnswerBag EvaluatePathQuery(const Structure& data, const PathQuery& query);
+
+/// Total number of homomorphisms Σ_{i,j} M^D_w(i, j) — the boolean
+/// (existentially closed) reading of the path query.
+BigInt CountPathHoms(const Structure& data, const PathQuery& query);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_PATH_MATRIX_SEMANTICS_H_

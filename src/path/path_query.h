@@ -1,0 +1,98 @@
+// bagdet: path queries and their determinacy (Section 3, Theorem 1).
+//
+// A path query over a binary schema is a word over the relation symbols
+// (Section 2.1). Theorem 1: for path queries, set- and bag-semantics
+// determinacy coincide, and both are characterized by reachability in the
+// prefix graph G_{q,V} (Definition 9, Fact 10, Lemma 11): vertices are the
+// prefixes of q, and w — wv is an edge for every view v. The procedure
+// returns the ε→q path as a certificate when determined, and the
+// Appendix-B "twisted double cover" counterexample pair when not.
+
+#ifndef BAGDET_PATH_PATH_QUERY_H_
+#define BAGDET_PATH_PATH_QUERY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/cq.h"
+#include "structs/structure.h"
+
+namespace bagdet {
+
+/// A path query, identified with its word over the schema's binary
+/// relation symbols.
+class PathQuery {
+ public:
+  PathQuery() = default;
+  PathQuery(std::shared_ptr<const Schema> schema, std::vector<RelationId> word);
+
+  /// Builds from a word of single-character relation names ("ABC"),
+  /// adding missing binary relations to `schema`.
+  static PathQuery FromWord(std::string_view word,
+                            const std::shared_ptr<Schema>& schema);
+
+  const std::vector<RelationId>& word() const { return word_; }
+  std::size_t Length() const { return word_.size(); }
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+
+  /// True iff `this` equals the subword of `other` starting at `offset`.
+  bool MatchesAt(const PathQuery& other, std::size_t offset) const;
+
+  /// The frozen body: a simple directed path 0 →q[0] 1 →q[1] ... n.
+  Structure FrozenBody() const;
+
+  /// The equivalent binary conjunctive query
+  /// Λ(x, y) = ∃x1..x_{n-1} R1(x,x1), ..., Rn(x_{n-1},y) (Section 2.1).
+  /// Its Evaluate answer bag coincides with EvaluatePathQuery's
+  /// matrix-based result (Fact 18) — cross-checked in tests.
+  ConjunctiveQuery ToConjunctiveQuery(std::string name) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const PathQuery& a, const PathQuery& b) {
+    return a.word_ == b.word_;
+  }
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<RelationId> word_;
+};
+
+/// One edge of the ε→q path in G_{q,V}: prefix w_{j-1} to prefix w_j using
+/// view `view_index`, in the forward (+1: w_j = w_{j-1}·v) or backward
+/// (-1: w_{j-1} = w_j·v) direction.
+struct PrefixStep {
+  std::size_t from_prefix;  ///< |w_{j-1}|.
+  std::size_t to_prefix;    ///< |w_j|.
+  std::size_t view_index;   ///< Index into V.
+  int direction;            ///< +1 or -1 (the ε_j of Section 3).
+};
+
+struct PathDeterminacyResult {
+  /// Theorem 1: the same verdict under set and bag semantics.
+  bool determined = false;
+  /// When determined: a shortest ε→q path in G_{q,V} (Fact 10 / Lemma 11).
+  std::vector<PrefixStep> path;
+  /// When not determined and requested: structures D, D′ over a shared
+  /// domain with v(D) = v(D′) as answer bags for every v ∈ V but
+  /// q(D) ≠ q(D′) (Appendix B).
+  std::optional<std::pair<Structure, Structure>> counterexample;
+};
+
+/// Decides V ⟶bag q (equivalently V ⟶set q) for path queries.
+PathDeterminacyResult DecidePathDeterminacy(
+    const PathQuery& q, const std::vector<PathQuery>& views,
+    bool want_counterexample = true);
+
+/// The Appendix-B counterexample pair for a non-determined instance:
+/// D = q + q (two disjoint frozen paths) and D′ the reachability-twisted
+/// version. Throws std::logic_error when the instance is determined.
+std::pair<Structure, Structure> BuildPathCounterexample(
+    const PathQuery& q, const std::vector<PathQuery>& views);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_PATH_PATH_QUERY_H_

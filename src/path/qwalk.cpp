@@ -1,0 +1,90 @@
+#include "path/qwalk.h"
+
+#include <stdexcept>
+
+namespace bagdet {
+
+SignedWord BuildQWalk(const PathQuery& q, const std::vector<PathQuery>& views,
+                      const std::vector<PrefixStep>& path) {
+  (void)q;
+  SignedWord walk;
+  for (const PrefixStep& step : path) {
+    const PathQuery& v = views.at(step.view_index);
+    if (step.direction == +1) {
+      for (RelationId r : v.word()) walk.push_back(SignedLetter{r, +1});
+    } else {
+      for (std::size_t i = v.Length(); i-- > 0;) {
+        walk.push_back(SignedLetter{v.word()[i], -1});
+      }
+    }
+  }
+  return walk;
+}
+
+bool IsQWalk(const SignedWord& word, const PathQuery& q) {
+  const std::int64_t target = static_cast<std::int64_t>(q.Length());
+  std::int64_t height = 0;  // Σ_{j<=i} ι_j, the current prefix position.
+  for (const SignedLetter& letter : word) {
+    // Condition (3): the letter must match q at the position it traverses.
+    std::int64_t position = letter.sign == +1 ? height : height - 1;
+    if (position < 0 || position >= target) return false;
+    if (q.word()[static_cast<std::size_t>(position)] != letter.relation) {
+      return false;
+    }
+    height += letter.sign;
+    // Condition (1): 0 <= height <= |q| at every point.
+    if (height < 0 || height > target) return false;
+  }
+  // Condition (2): the walk ends at |q|.
+  return height == target;
+}
+
+namespace {
+
+bool ReduceStep(SignedWord* word, int first_sign) {
+  for (std::size_t i = 0; i + 1 < word->size(); ++i) {
+    if ((*word)[i].relation == (*word)[i + 1].relation &&
+        (*word)[i].sign == first_sign && (*word)[i + 1].sign == -first_sign) {
+      word->erase(word->begin() + static_cast<std::ptrdiff_t>(i),
+                  word->begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ReduceStepPlusMinus(SignedWord* word) { return ReduceStep(word, +1); }
+bool ReduceStepMinusPlus(SignedWord* word) { return ReduceStep(word, -1); }
+
+std::vector<SignedWord> ReduceToFixpointPlusMinus(SignedWord word) {
+  std::vector<SignedWord> trace{word};
+  while (ReduceStepPlusMinus(&word)) trace.push_back(word);
+  return trace;
+}
+
+std::vector<SignedWord> ReduceToFixpointMinusPlus(SignedWord word) {
+  std::vector<SignedWord> trace{word};
+  while (ReduceStepMinusPlus(&word)) trace.push_back(word);
+  return trace;
+}
+
+SignedWord ToSignedWord(const PathQuery& q) {
+  SignedWord word;
+  for (RelationId r : q.word()) word.push_back(SignedLetter{r, +1});
+  return word;
+}
+
+std::string SignedWordToString(const SignedWord& word, const Schema& schema) {
+  if (word.empty()) return "<epsilon>";
+  std::string out;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (i != 0) out += '.';
+    out += schema.Name(word[i].relation);
+    if (word[i].sign < 0) out += "^-1";
+  }
+  return out;
+}
+
+}  // namespace bagdet

@@ -1,0 +1,62 @@
+// bagdet: q-walks and their reductions (Definitions 12–14, Lemma 15).
+//
+// A path ε→q in G_{q,V} induces a word over Σ ∪ Σ⁻¹ — the q-walk
+// (v_{p1})^{ε1}(v_{p2})^{ε2}…(v_{pm})^{εm} — that can be reduced to q by
+// cancelling adjacent A·A⁻¹ (the +/- relation) or A⁻¹·A (the -/+ relation)
+// pairs. These reductions drive the relational-approximation argument
+// behind Lemma 11 (⇐): H_q ⊆ H_walk ⊆ H_q, hence H_q = H_walk.
+
+#ifndef BAGDET_PATH_QWALK_H_
+#define BAGDET_PATH_QWALK_H_
+
+#include <string>
+#include <vector>
+
+#include "path/path_query.h"
+
+namespace bagdet {
+
+/// One letter of a word over Σ ∪ Σ⁻¹.
+struct SignedLetter {
+  RelationId relation;
+  int sign;  ///< +1 for R, -1 for R⁻¹.
+
+  friend bool operator==(const SignedLetter& a, const SignedLetter& b) {
+    return a.relation == b.relation && a.sign == b.sign;
+  }
+};
+
+using SignedWord = std::vector<SignedLetter>;
+
+/// Builds the q-walk induced by an ε→q path: each forward step contributes
+/// v, each backward step contributes v⁻¹ (v reversed with letters
+/// inverted — footnote 18).
+SignedWord BuildQWalk(const PathQuery& q, const std::vector<PathQuery>& views,
+                      const std::vector<PrefixStep>& path);
+
+/// Checks conditions (1)–(3) of Definition 12 against q.
+bool IsQWalk(const SignedWord& word, const PathQuery& q);
+
+/// One +/- reduction: removes the leftmost adjacent pair A·A⁻¹.
+/// Returns false when no such pair exists.
+bool ReduceStepPlusMinus(SignedWord* word);
+
+/// One -/+ reduction: removes the leftmost adjacent pair A⁻¹·A.
+bool ReduceStepMinusPlus(SignedWord* word);
+
+/// Applies +/- reductions to a fixpoint, recording every intermediate word
+/// (Lemma 15: for a q-walk the fixpoint is q itself).
+std::vector<SignedWord> ReduceToFixpointPlusMinus(SignedWord word);
+
+/// Same with -/+ reductions.
+std::vector<SignedWord> ReduceToFixpointMinusPlus(SignedWord word);
+
+/// The positive word q as a SignedWord.
+SignedWord ToSignedWord(const PathQuery& q);
+
+/// "A.B.C^-1.B" style rendering.
+std::string SignedWordToString(const SignedWord& word, const Schema& schema);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_PATH_QWALK_H_

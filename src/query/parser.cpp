@@ -1,0 +1,165 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bagdet {
+
+namespace {
+
+/// Minimal hand-rolled tokenizer over one rule line.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool TryConsume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void Expect(std::string_view token) {
+    if (!TryConsume(token)) {
+      throw std::invalid_argument("parse error: expected '" +
+                                  std::string(token) + "' at position " +
+                                  std::to_string(pos_) + " in: " +
+                                  std::string(text_));
+    }
+  }
+
+  std::string ExpectName() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '\'') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (start == pos_) {
+      throw std::invalid_argument("parse error: expected a name at position " +
+                                  std::to_string(pos_) + " in: " +
+                                  std::string(text_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  bool PeekChar(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ConjunctiveQuery QueryParser::ParseRule(std::string_view line) {
+  Cursor cursor(line);
+  std::string head_name = cursor.ExpectName();
+
+  std::vector<std::string> var_names;
+  std::unordered_map<std::string, VarId> var_ids;
+  auto intern_var = [&](const std::string& name) {
+    auto it = var_ids.find(name);
+    if (it != var_ids.end()) return it->second;
+    VarId id = static_cast<VarId>(var_names.size());
+    var_names.push_back(name);
+    var_ids.emplace(name, id);
+    return id;
+  };
+
+  std::size_t num_free = 0;
+  if (cursor.TryConsume("(")) {
+    if (!cursor.TryConsume(")")) {
+      do {
+        intern_var(cursor.ExpectName());
+      } while (cursor.TryConsume(","));
+      cursor.Expect(")");
+    }
+    num_free = var_names.size();
+  }
+  cursor.Expect(":-");
+
+  std::vector<QueryAtom> atoms;
+  if (!cursor.TryConsume("true")) {
+    do {
+      std::string relation_name = cursor.ExpectName();
+      std::vector<VarId> args;
+      cursor.Expect("(");
+      if (!cursor.TryConsume(")")) {
+        do {
+          args.push_back(intern_var(cursor.ExpectName()));
+        } while (cursor.TryConsume(","));
+        cursor.Expect(")");
+      }
+      RelationId relation = schema_->AddRelation(relation_name, args.size());
+      atoms.push_back(QueryAtom{relation, std::move(args)});
+    } while (cursor.TryConsume(","));
+  }
+  cursor.TryConsume(".");
+  if (!cursor.AtEnd()) {
+    throw std::invalid_argument("parse error: trailing input in: " +
+                                std::string(line));
+  }
+  return ConjunctiveQuery(std::move(head_name), schema_, std::move(var_names),
+                          num_free, std::move(atoms));
+}
+
+std::vector<ConjunctiveQuery> QueryParser::ParseProgram(
+    std::string_view text) {
+  std::vector<ConjunctiveQuery> rules;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    std::size_t comment = line.find('#');
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (!blank) rules.push_back(ParseRule(line));
+    start = end + 1;
+  }
+  return rules;
+}
+
+std::vector<UnionQuery> QueryParser::ParseUcqProgram(std::string_view text) {
+  std::vector<ConjunctiveQuery> rules = ParseProgram(text);
+  std::vector<UnionQuery> result;
+  std::size_t i = 0;
+  while (i < rules.size()) {
+    std::size_t j = i + 1;
+    while (j < rules.size() && rules[j].name() == rules[i].name()) ++j;
+    std::string name = rules[i].name();
+    std::vector<ConjunctiveQuery> group(rules.begin() + i, rules.begin() + j);
+    result.emplace_back(std::move(name), std::move(group));
+    i = j;
+  }
+  return result;
+}
+
+}  // namespace bagdet

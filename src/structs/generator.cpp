@@ -1,0 +1,113 @@
+#include "structs/generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bagdet {
+
+namespace {
+
+/// Iterates over all tuples of the given arity over 0..domain_size-1.
+/// Returns false once the tuple wraps back to all-zeros.
+bool NextTuple(Tuple* tuple, std::size_t domain_size) {
+  for (std::size_t i = tuple->size(); i-- > 0;) {
+    if (++(*tuple)[i] < domain_size) return true;
+    (*tuple)[i] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t CountPotentialFacts(const Schema& schema,
+                                  std::size_t domain_size) {
+  std::uint64_t total = 0;
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    std::uint64_t count = 1;
+    for (std::size_t i = 0; i < schema.Arity(r); ++i) count *= domain_size;
+    total += count;
+  }
+  return total;
+}
+
+Structure RandomStructure(std::shared_ptr<const Schema> schema,
+                          std::size_t domain_size, Rng* rng,
+                          std::uint64_t numer, std::uint64_t denom) {
+  Structure s(schema, domain_size);
+  for (RelationId r = 0; r < schema->NumRelations(); ++r) {
+    const std::size_t arity = schema->Arity(r);
+    if (arity == 0) {
+      if (rng->Chance(numer, denom)) s.AddFact(r, {});
+      continue;
+    }
+    if (domain_size == 0) continue;
+    Tuple t(arity, 0);
+    do {
+      if (rng->Chance(numer, denom)) s.AddFact(r, t);
+    } while (NextTuple(&t, domain_size));
+  }
+  return s;
+}
+
+Structure RandomConnectedStructure(std::shared_ptr<const Schema> schema,
+                                   std::size_t domain_size, Rng* rng,
+                                   std::uint64_t numer, std::uint64_t denom) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Structure s = RandomStructure(schema, domain_size, rng, numer, denom);
+    if (s.IsConnected()) return s;
+  }
+  // Rejection failed (sparse settings): chain the domain with the first
+  // relation of arity >= 2, or stack unary facts on one element.
+  Structure s = RandomStructure(schema, domain_size, rng, numer, denom);
+  for (RelationId r = 0; r < schema->NumRelations(); ++r) {
+    const std::size_t arity = schema->Arity(r);
+    if (arity >= 2 && domain_size >= 1) {
+      for (std::size_t e = 0; e + 1 < domain_size; ++e) {
+        Tuple t(arity, static_cast<Element>(e));
+        t[1] = static_cast<Element>(e + 1);
+        s.AddFact(r, std::move(t));
+      }
+      return s;
+    }
+  }
+  if (domain_size <= 1) return s;
+  throw std::invalid_argument(
+      "RandomConnectedStructure: schema cannot connect a domain of size > 1");
+}
+
+bool EnumerateStructures(std::shared_ptr<const Schema> schema,
+                         std::size_t domain_size,
+                         const std::function<bool(const Structure&)>& visit) {
+  // Collect the potential facts once, then walk all subsets via a binary
+  // counter with incremental add/remove being emulated by rebuilds (the
+  // structures are tiny by contract).
+  std::vector<std::pair<RelationId, Tuple>> potential;
+  for (RelationId r = 0; r < schema->NumRelations(); ++r) {
+    const std::size_t arity = schema->Arity(r);
+    if (arity == 0) {
+      potential.emplace_back(r, Tuple{});
+      continue;
+    }
+    if (domain_size == 0) continue;
+    Tuple t(arity, 0);
+    do {
+      potential.emplace_back(r, t);
+    } while (NextTuple(&t, domain_size));
+  }
+  if (potential.size() >= 30) {
+    throw std::invalid_argument(
+        "EnumerateStructures: too many potential facts (" +
+        std::to_string(potential.size()) + "); refusing to enumerate 2^30+");
+  }
+  const std::uint64_t limit = 1ull << potential.size();
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    Structure s(schema, domain_size);
+    for (std::size_t i = 0; i < potential.size(); ++i) {
+      if (mask & (1ull << i)) s.AddFact(potential[i].first, potential[i].second);
+    }
+    if (!visit(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace bagdet

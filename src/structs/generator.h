@@ -1,0 +1,47 @@
+// bagdet: structure generators for property tests, random cross-validation,
+// and the tiered distinguisher search (Step 1 of Lemma 40).
+
+#ifndef BAGDET_STRUCTS_GENERATOR_H_
+#define BAGDET_STRUCTS_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "structs/structure.h"
+#include "util/rng.h"
+
+namespace bagdet {
+
+/// Samples a structure with the given domain size; each potential fact is
+/// included independently with probability numer/denom.
+Structure RandomStructure(std::shared_ptr<const Schema> schema,
+                          std::size_t domain_size, Rng* rng,
+                          std::uint64_t numer = 1, std::uint64_t denom = 2);
+
+/// Samples a *connected* structure (rejection sampling; falls back to
+/// chaining elements with the first positive-arity relation when rejection
+/// keeps failing).
+Structure RandomConnectedStructure(std::shared_ptr<const Schema> schema,
+                                   std::size_t domain_size, Rng* rng,
+                                   std::uint64_t numer = 1,
+                                   std::uint64_t denom = 2);
+
+/// Calls `visit` for every structure over `schema` with exactly
+/// `domain_size` elements (all 2^(#potential facts) fact subsets).
+/// Stops early when `visit` returns false. Returns false iff stopped early.
+///
+/// Exponential; intended for the exhaustive tail of the distinguisher search
+/// and for small-domain brute-force validation only.
+bool EnumerateStructures(std::shared_ptr<const Schema> schema,
+                         std::size_t domain_size,
+                         const std::function<bool(const Structure&)>& visit);
+
+/// Number of potential facts over a domain of the given size (the exhaustive
+/// enumeration visits 2^this structures).
+std::uint64_t CountPotentialFacts(const Schema& schema, std::size_t domain_size);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_STRUCTS_GENERATOR_H_

@@ -1,0 +1,80 @@
+#include "structs/refinement.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bagdet {
+
+namespace {
+
+std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+ColorRefinementResult RefineColors(const Structure& s) {
+  const std::size_t n = s.DomainSize();
+  ColorRefinementResult result;
+  result.color_of_element.assign(n, 0);
+  result.num_colors = n == 0 ? 0 : 1;
+  if (n == 0) return result;
+
+  // Invariant: colors are canonical (depend only on the isomorphism type)
+  // because each round's new color is the RANK of the element's signature
+  // among all signatures, and signatures are built from canonical colors.
+  std::vector<std::uint64_t> last_signature(n, 0);
+  for (std::size_t round = 0; round < n; ++round) {
+    // Signature: previous color mixed with a commutative accumulation of
+    // position-tagged colored-tuple hashes over all incident facts.
+    std::vector<std::uint64_t> signature(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      signature[e] = MixHash(0x5bd1e995, result.color_of_element[e]);
+    }
+    for (RelationId r = 0; r < s.schema().NumRelations(); ++r) {
+      for (const Tuple& t : s.Facts(r)) {
+        std::uint64_t tuple_hash = (static_cast<std::uint64_t>(r) + 1) << 32;
+        for (Element e : t) {
+          tuple_hash = MixHash(tuple_hash, result.color_of_element[e] + 1);
+        }
+        for (std::size_t pos = 0; pos < t.size(); ++pos) {
+          signature[t[pos]] += MixHash(tuple_hash, pos + 1);
+        }
+      }
+    }
+    // Canonical re-coloring: rank within the sorted signature list.
+    std::vector<std::uint64_t> sorted = signature;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<std::uint32_t> next(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      next[e] = static_cast<std::uint32_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), signature[e]) -
+          sorted.begin());
+    }
+    bool stable = sorted.size() == result.num_colors;
+    result.color_of_element = std::move(next);
+    result.num_colors = sorted.size();
+    result.rounds = round + 1;
+    last_signature = std::move(signature);
+    if (stable) break;
+  }
+
+  // Canonical histogram: (stable signature value, class size), sorted.
+  // Stable signatures are isomorphism-invariant by the rank argument.
+  std::map<std::uint64_t, std::size_t> counts;
+  for (std::size_t e = 0; e < n; ++e) ++counts[last_signature[e]];
+  for (const auto& [sig, count] : counts) {
+    result.histogram.emplace_back(sig, count);
+  }
+  return result;
+}
+
+bool ColorRefinementDistinguishes(const Structure& a, const Structure& b) {
+  if (a.schema() != b.schema()) return true;
+  if (a.DomainSize() != b.DomainSize()) return true;
+  return RefineColors(a).histogram != RefineColors(b).histogram;
+}
+
+}  // namespace bagdet

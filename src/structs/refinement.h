@@ -1,0 +1,41 @@
+// bagdet: color refinement (1-dimensional Weisfeiler–Leman).
+//
+// Iteratively refines a coloring of the domain by the multiset of
+// (relation, position, neighbor-colors) incidences until stable. The
+// stable color histogram is an isomorphism invariant strictly stronger
+// than degree profiles; it prunes the isomorphism backtracking and gives
+// the distinguisher search a fast non-isomorphism witness. (It is not
+// complete — e.g. it cannot tell a 6-cycle from two 3-cycles — which is
+// why IsIsomorphic still backtracks and Lemma 43 needs hom counts.)
+
+#ifndef BAGDET_STRUCTS_REFINEMENT_H_
+#define BAGDET_STRUCTS_REFINEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "structs/structure.h"
+
+namespace bagdet {
+
+/// Stable coloring of the domain: colors are dense ids 0..k-1, canonical
+/// in the sense that isomorphic structures get identical color
+/// *histograms* (not necessarily identical per-element ids).
+struct ColorRefinementResult {
+  std::vector<std::uint32_t> color_of_element;
+  std::size_t num_colors = 0;
+  /// Sorted (color, count) histogram — the isomorphism invariant.
+  std::vector<std::pair<std::uint64_t, std::size_t>> histogram;
+  std::size_t rounds = 0;  ///< Refinement rounds until stable.
+};
+
+/// Runs color refinement to the stable partition.
+ColorRefinementResult RefineColors(const Structure& s);
+
+/// True iff the stable histograms differ — a sound (but incomplete)
+/// non-isomorphism check: true implies non-isomorphic.
+bool ColorRefinementDistinguishes(const Structure& a, const Structure& b);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_STRUCTS_REFINEMENT_H_

@@ -1,0 +1,86 @@
+// bagdet: relational schemas.
+//
+// A schema is a finite set of relation symbols with fixed arities
+// (Section 2.1 of the paper). Arity 0 (nullary predicates, used by the
+// Theorem-2 reduction) through arbitrary n are supported.
+
+#ifndef BAGDET_STRUCTS_SCHEMA_H_
+#define BAGDET_STRUCTS_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bagdet {
+
+/// Index of a relation within its schema.
+using RelationId = std::uint32_t;
+
+/// A finite set of relation symbols with arities.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation; returns its id. Throws std::invalid_argument when the
+  /// name already exists with a different arity; re-adding with the same
+  /// arity returns the existing id.
+  RelationId AddRelation(std::string name, std::size_t arity) {
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) {
+      if (arities_[it->second] != arity) {
+        throw std::invalid_argument("Schema: relation '" + name +
+                                    "' redeclared with different arity");
+      }
+      return it->second;
+    }
+    RelationId id = static_cast<RelationId>(names_.size());
+    by_name_.emplace(name, id);
+    names_.push_back(std::move(name));
+    arities_.push_back(arity);
+    return id;
+  }
+
+  std::size_t NumRelations() const { return names_.size(); }
+  const std::string& Name(RelationId id) const { return names_.at(id); }
+  std::size_t Arity(RelationId id) const { return arities_.at(id); }
+
+  /// Id of a named relation, if present.
+  std::optional<RelationId> Find(std::string_view name) const {
+    auto it = by_name_.find(std::string(name));
+    if (it == by_name_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// True iff every relation has the given arity.
+  bool AllArity(std::size_t arity) const {
+    for (std::size_t a : arities_) {
+      if (a != arity) return false;
+    }
+    return true;
+  }
+
+  /// Maximum arity over all relations (0 for an empty schema).
+  std::size_t MaxArity() const {
+    std::size_t m = 0;
+    for (std::size_t a : arities_) m = a > m ? a : m;
+    return m;
+  }
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_ && a.arities_ == b.arities_;
+  }
+  friend bool operator!=(const Schema& a, const Schema& b) { return !(a == b); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::size_t> arities_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace bagdet
+
+#endif  // BAGDET_STRUCTS_SCHEMA_H_

@@ -1,0 +1,343 @@
+#include "structs/structure.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "structs/refinement.h"
+
+namespace bagdet {
+
+Structure::Structure(std::shared_ptr<const Schema> schema,
+                     std::size_t domain_size)
+    : schema_(std::move(schema)), domain_size_(domain_size) {
+  facts_.resize(schema_->NumRelations());
+}
+
+void Structure::AddFact(RelationId relation, Tuple elements) {
+  if (relation >= schema_->NumRelations()) {
+    throw std::invalid_argument("Structure: unknown relation id");
+  }
+  if (elements.size() != schema_->Arity(relation)) {
+    throw std::invalid_argument("Structure: tuple arity mismatch for " +
+                                schema_->Name(relation));
+  }
+  if (facts_.size() < schema_->NumRelations()) {
+    facts_.resize(schema_->NumRelations());
+  }
+  for (Element e : elements) {
+    EnsureDomain(static_cast<std::size_t>(e) + 1);
+  }
+  auto& rows = facts_[relation];
+  auto it = std::lower_bound(rows.begin(), rows.end(), elements);
+  if (it == rows.end() || *it != elements) rows.insert(it, std::move(elements));
+}
+
+bool Structure::HasFact(RelationId relation, const Tuple& elements) const {
+  if (relation >= facts_.size()) return false;
+  const auto& rows = facts_[relation];
+  return std::binary_search(rows.begin(), rows.end(), elements);
+}
+
+std::size_t Structure::NumFacts() const {
+  std::size_t total = 0;
+  for (const auto& rows : facts_) total += rows.size();
+  return total;
+}
+
+namespace {
+
+/// Plain union-find over 0..n-1.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+bool Structure::IsConnected() const {
+  std::size_t nullary_facts = 0;
+  for (RelationId r = 0; r < schema_->NumRelations(); ++r) {
+    if (schema_->Arity(r) == 0 && r < facts_.size()) {
+      nullary_facts += facts_[r].size();
+    }
+  }
+  if (domain_size_ == 0) return nullary_facts == 1;
+  if (nullary_facts > 0) return false;  // Nullary facts are separate pieces.
+  UnionFind uf(domain_size_);
+  for (const auto& rows : facts_) {
+    for (const Tuple& t : rows) {
+      for (std::size_t i = 1; i < t.size(); ++i) uf.Union(t[0], t[i]);
+    }
+  }
+  std::size_t root = uf.Find(0);
+  for (std::size_t e = 1; e < domain_size_; ++e) {
+    if (uf.Find(e) != root) return false;
+  }
+  return true;
+}
+
+Structure Structure::MapDomain(const std::vector<Element>& mapping,
+                               std::size_t new_domain_size) const {
+  if (mapping.size() < domain_size_) {
+    throw std::invalid_argument("MapDomain: mapping too short");
+  }
+  Structure result(schema_, new_domain_size);
+  for (RelationId r = 0; r < facts_.size(); ++r) {
+    for (const Tuple& t : facts_[r]) {
+      Tuple mapped(t.size());
+      for (std::size_t i = 0; i < t.size(); ++i) mapped[i] = mapping[t[i]];
+      result.AddFact(r, std::move(mapped));
+    }
+  }
+  return result;
+}
+
+std::string Structure::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (RelationId r = 0; r < facts_.size(); ++r) {
+    for (const Tuple& t : facts_[r]) {
+      if (!first) os << ", ";
+      first = false;
+      os << schema_->Name(r) << '(';
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i != 0) os << ',';
+        os << t[i];
+      }
+      os << ')';
+    }
+  }
+  if (first) os << "<empty" << (domain_size_ ? "" : ", no domain") << ">";
+  return os.str();
+}
+
+bool operator==(const Structure& a, const Structure& b) {
+  return *a.schema_ == *b.schema_ && a.domain_size_ == b.domain_size_ &&
+         a.facts_ == b.facts_;
+}
+
+std::uint64_t Structure::InvariantFingerprint() const {
+  // Multiset of per-element "degree profiles" plus global counts. Equal for
+  // isomorphic structures because it never references element names.
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  auto slot_hash = [](RelationId r, std::size_t pos) {
+    std::uint64_t z = (static_cast<std::uint64_t>(r) << 8) | pos;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  std::vector<std::uint64_t> profiles(domain_size_, 0);
+  std::uint64_t global = domain_size_;
+  for (RelationId r = 0; r < facts_.size(); ++r) {
+    global = mix(global, (static_cast<std::uint64_t>(r) << 32) | facts_[r].size());
+    for (const Tuple& t : facts_[r]) {
+      for (std::size_t pos = 0; pos < t.size(); ++pos) {
+        // Addition keeps the per-element accumulation independent of the
+        // fact iteration order (which depends on element names).
+        profiles[t[pos]] += slot_hash(r, pos);
+      }
+    }
+  }
+  std::sort(profiles.begin(), profiles.end());
+  for (std::uint64_t p : profiles) global = mix(global, p);
+  return global;
+}
+
+Structure DisjointUnion(const Structure& a, const Structure& b) {
+  if (a.schema() != b.schema()) {
+    throw std::invalid_argument("DisjointUnion: schema mismatch");
+  }
+  Structure result(a.schema_ptr(), a.DomainSize() + b.DomainSize());
+  const Element offset = static_cast<Element>(a.DomainSize());
+  for (RelationId r = 0; r < a.schema().NumRelations(); ++r) {
+    for (const Tuple& t : a.Facts(r)) result.AddFact(r, t);
+    for (const Tuple& t : b.Facts(r)) {
+      Tuple shifted(t.size());
+      for (std::size_t i = 0; i < t.size(); ++i) shifted[i] = t[i] + offset;
+      result.AddFact(r, std::move(shifted));
+    }
+  }
+  return result;
+}
+
+Structure Product(const Structure& a, const Structure& b) {
+  if (a.schema() != b.schema()) {
+    throw std::invalid_argument("Product: schema mismatch");
+  }
+  const std::size_t nb = b.DomainSize();
+  Structure result(a.schema_ptr(), a.DomainSize() * nb);
+  for (RelationId r = 0; r < a.schema().NumRelations(); ++r) {
+    for (const Tuple& ta : a.Facts(r)) {
+      for (const Tuple& tb : b.Facts(r)) {
+        Tuple combined(ta.size());
+        for (std::size_t i = 0; i < ta.size(); ++i) {
+          combined[i] = static_cast<Element>(ta[i] * nb + tb[i]);
+        }
+        result.AddFact(r, std::move(combined));
+      }
+    }
+  }
+  return result;
+}
+
+Structure ScalarMultiple(std::uint64_t t, const Structure& a) {
+  Structure result(a.schema_ptr(), 0);
+  for (std::uint64_t i = 0; i < t; ++i) result = DisjointUnion(result, a);
+  return result;
+}
+
+Structure AllLoopsSingleton(std::shared_ptr<const Schema> schema) {
+  Structure result(schema, 1);
+  for (RelationId r = 0; r < schema->NumRelations(); ++r) {
+    result.AddFact(r, Tuple(result.schema().Arity(r), 0));
+  }
+  return result;
+}
+
+Structure IteratedProduct(const Structure& a, std::uint64_t t) {
+  Structure result = AllLoopsSingleton(a.schema_ptr());
+  for (std::uint64_t i = 0; i < t; ++i) result = Product(result, a);
+  return result;
+}
+
+std::vector<Structure> ConnectedComponents(const Structure& s) {
+  const std::size_t n = s.DomainSize();
+  UnionFind uf(n);
+  for (RelationId r = 0; r < s.schema().NumRelations(); ++r) {
+    for (const Tuple& t : s.Facts(r)) {
+      for (std::size_t i = 1; i < t.size(); ++i) uf.Union(t[0], t[i]);
+    }
+  }
+  // Group elements by root.
+  std::map<std::size_t, std::vector<Element>> groups;
+  for (std::size_t e = 0; e < n; ++e) {
+    groups[uf.Find(e)].push_back(static_cast<Element>(e));
+  }
+  std::vector<Structure> components;
+  std::vector<Element> rename(n, 0);
+  std::vector<std::size_t> component_of(n, 0);
+  std::size_t index = 0;
+  for (const auto& [root, members] : groups) {
+    (void)root;
+    Structure c(s.schema_ptr(), members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      rename[members[i]] = static_cast<Element>(i);
+      component_of[members[i]] = index;
+    }
+    components.push_back(std::move(c));
+    ++index;
+  }
+  for (RelationId r = 0; r < s.schema().NumRelations(); ++r) {
+    for (const Tuple& t : s.Facts(r)) {
+      if (t.empty()) {
+        // Each nullary fact is its own empty-domain component.
+        Structure c(s.schema_ptr(), 0);
+        c.AddFact(r, {});
+        components.push_back(std::move(c));
+        continue;
+      }
+      Tuple renamed(t.size());
+      for (std::size_t i = 0; i < t.size(); ++i) renamed[i] = rename[t[i]];
+      components[component_of[t[0]]].AddFact(r, std::move(renamed));
+    }
+  }
+  return components;
+}
+
+namespace {
+
+/// Per-element invariant used to prune the isomorphism search: for every
+/// (relation, position) the number of facts featuring the element there.
+std::vector<std::vector<std::uint32_t>> ElementProfiles(const Structure& s) {
+  std::size_t slots = 0;
+  for (RelationId r = 0; r < s.schema().NumRelations(); ++r) {
+    slots += s.schema().Arity(r);
+  }
+  std::vector<std::vector<std::uint32_t>> profiles(
+      s.DomainSize(), std::vector<std::uint32_t>(slots, 0));
+  std::size_t base = 0;
+  for (RelationId r = 0; r < s.schema().NumRelations(); ++r) {
+    for (const Tuple& t : s.Facts(r)) {
+      for (std::size_t pos = 0; pos < t.size(); ++pos) {
+        ++profiles[t[pos]][base + pos];
+      }
+    }
+    base += s.schema().Arity(r);
+  }
+  return profiles;
+}
+
+bool ExtendIsomorphism(const Structure& a, const Structure& b,
+                       const std::vector<std::vector<std::uint32_t>>& pa,
+                       const std::vector<std::vector<std::uint32_t>>& pb,
+                       std::vector<Element>& mapping, std::vector<bool>& used,
+                       std::size_t next) {
+  const std::size_t n = a.DomainSize();
+  if (next == n) {
+    // Verify that mapping sends facts of `a` exactly onto facts of `b`.
+    for (RelationId r = 0; r < a.schema().NumRelations(); ++r) {
+      if (a.Facts(r).size() != b.Facts(r).size()) return false;
+      for (const Tuple& t : a.Facts(r)) {
+        Tuple mapped(t.size());
+        for (std::size_t i = 0; i < t.size(); ++i) mapped[i] = mapping[t[i]];
+        if (!b.HasFact(r, mapped)) return false;
+      }
+    }
+    return true;
+  }
+  for (Element candidate = 0; candidate < n; ++candidate) {
+    if (used[candidate] || pa[next] != pb[candidate]) continue;
+    mapping[next] = candidate;
+    used[candidate] = true;
+    if (ExtendIsomorphism(a, b, pa, pb, mapping, used, next + 1)) return true;
+    used[candidate] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsIsomorphic(const Structure& a, const Structure& b) {
+  if (a.schema() != b.schema()) return false;
+  if (a.DomainSize() != b.DomainSize()) return false;
+  for (RelationId r = 0; r < a.schema().NumRelations(); ++r) {
+    if (a.Facts(r).size() != b.Facts(r).size()) return false;
+  }
+  if (a.InvariantFingerprint() != b.InvariantFingerprint()) return false;
+  auto pa = ElementProfiles(a);
+  auto pb = ElementProfiles(b);
+  {
+    auto sa = pa;
+    auto sb = pb;
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    if (sa != sb) return false;
+  }
+  // Color refinement (1-WL) prunes most non-isomorphic pairs that share
+  // degree profiles before the backtracking search starts.
+  if (ColorRefinementDistinguishes(a, b)) return false;
+  std::vector<Element> mapping(a.DomainSize(), 0);
+  std::vector<bool> used(a.DomainSize(), false);
+  return ExtendIsomorphism(a, b, pa, pb, mapping, used, 0);
+}
+
+}  // namespace bagdet

@@ -1,0 +1,128 @@
+// bagdet: finite relational structures (databases).
+//
+// A structure over a schema is a finite set of facts A(t̄) over a domain
+// {0, 1, ..., n-1} (Section 2.1). Facts are kept sorted and deduplicated so
+// structures are canonical up to the naming of domain elements.
+
+#ifndef BAGDET_STRUCTS_STRUCTURE_H_
+#define BAGDET_STRUCTS_STRUCTURE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "structs/schema.h"
+
+namespace bagdet {
+
+/// A domain element. Domains are always {0, ..., DomainSize()-1}.
+using Element = std::uint32_t;
+
+/// A tuple of domain elements (length = relation arity; empty for nullary).
+using Tuple = std::vector<Element>;
+
+/// Finite relational structure with set semantics for facts.
+class Structure {
+ public:
+  /// Empty structure over an empty schema.
+  Structure() : schema_(std::make_shared<Schema>()) {}
+
+  /// Empty structure (no facts, `domain_size` isolated elements).
+  explicit Structure(std::shared_ptr<const Schema> schema,
+                     std::size_t domain_size = 0);
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& schema_ptr() const { return schema_; }
+
+  std::size_t DomainSize() const { return domain_size_; }
+
+  /// Grows the domain to at least `size` elements.
+  void EnsureDomain(std::size_t size) {
+    if (size > domain_size_) domain_size_ = size;
+  }
+
+  /// Adds a fresh isolated element and returns it.
+  Element AddElement() { return static_cast<Element>(domain_size_++); }
+
+  /// Adds the fact `relation(elements...)`; grows the domain as needed.
+  /// Duplicate facts are ignored (structures are sets of facts).
+  /// Throws std::invalid_argument when the tuple length != relation arity.
+  void AddFact(RelationId relation, Tuple elements);
+
+  /// True iff the fact is present.
+  bool HasFact(RelationId relation, const Tuple& elements) const;
+
+  /// All facts of one relation, sorted lexicographically. Relations added
+  /// to the schema after this structure was built have no facts.
+  const std::vector<Tuple>& Facts(RelationId relation) const {
+    static const std::vector<Tuple> kEmpty;
+    return relation < facts_.size() ? facts_[relation] : kEmpty;
+  }
+
+  /// Total number of facts across all relations.
+  std::size_t NumFacts() const;
+
+  /// True iff there are no facts and no domain elements.
+  bool IsEmpty() const { return domain_size_ == 0 && NumFacts() == 0; }
+
+  /// True iff the structure's "Gaifman graph" is connected and the domain is
+  /// nonempty — or the structure is a single nullary fact with empty domain.
+  /// The empty structure is not connected.
+  bool IsConnected() const;
+
+  /// Renames the domain through `mapping` (mapping[i] = new name of i) into a
+  /// structure with domain size `new_domain_size`. The mapping need not be
+  /// injective (this computes quotients, used by the distinguisher search).
+  Structure MapDomain(const std::vector<Element>& mapping,
+                      std::size_t new_domain_size) const;
+
+  /// Human-readable listing: "R(0,1), S(1)" etc.
+  std::string ToString() const;
+
+  friend bool operator==(const Structure& a, const Structure& b);
+  friend bool operator!=(const Structure& a, const Structure& b) {
+    return !(a == b);
+  }
+
+  /// Cheap isomorphism-invariant fingerprint: equal for isomorphic
+  /// structures (the converse does not hold; use IsIsomorphic for that).
+  std::uint64_t InvariantFingerprint() const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::size_t domain_size_ = 0;
+  // facts_[r] = sorted vector of unique tuples of relation r.
+  std::vector<std::vector<Tuple>> facts_;
+};
+
+/// Disjoint union A + B (Section 2.2); schemas must be equal. Nullary facts
+/// are unioned as sets (a nullary fact has no constants to rename).
+Structure DisjointUnion(const Structure& a, const Structure& b);
+
+/// Product A × B (Section 2.2). Element ⟨a,b⟩ is encoded as
+/// a * B.DomainSize() + b.
+Structure Product(const Structure& a, const Structure& b);
+
+/// t · A = A + A + ... + A (t times); 0 · A is the empty structure.
+Structure ScalarMultiple(std::uint64_t t, const Structure& a);
+
+/// A^t; A^0 is the all-loops singleton {α} with R(α,...,α) for every R
+/// (the paper's convention in Section 2.2).
+Structure IteratedProduct(const Structure& a, std::uint64_t t);
+
+/// The all-loops singleton over a schema (identity of ×).
+Structure AllLoopsSingleton(std::shared_ptr<const Schema> schema);
+
+/// Connected components (Section 2's notion, via the co-occurrence graph on
+/// domain elements). Isolated elements become single-element components;
+/// each nullary fact becomes its own empty-domain component.
+std::vector<Structure> ConnectedComponents(const Structure& s);
+
+/// Exact isomorphism test (backtracking with invariant pruning). Intended
+/// for query-sized structures.
+bool IsIsomorphic(const Structure& a, const Structure& b);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_STRUCTS_STRUCTURE_H_

@@ -1,0 +1,221 @@
+#include "structs/structure_expr.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bagdet {
+
+StructureExpr::StructureExpr() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kSum;
+  node->schema = std::make_shared<Schema>();
+  node_ = std::move(node);
+}
+
+StructureExpr StructureExpr::Base(Structure s) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kBase;
+  node->schema = s.schema_ptr();
+  node->base = std::move(s);
+  return StructureExpr(std::move(node));
+}
+
+StructureExpr StructureExpr::Sum(std::vector<StructureExpr> children,
+                                 std::shared_ptr<const Schema> schema) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kSum;
+  node->schema = std::move(schema);
+  for (const StructureExpr& child : children) {
+    if (child.schema() != *node->schema) {
+      throw std::invalid_argument("StructureExpr::Sum: schema mismatch");
+    }
+  }
+  node->children = std::move(children);
+  return StructureExpr(std::move(node));
+}
+
+StructureExpr StructureExpr::Product(std::vector<StructureExpr> children,
+                                     std::shared_ptr<const Schema> schema) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kProduct;
+  node->schema = std::move(schema);
+  for (const StructureExpr& child : children) {
+    if (child.schema() != *node->schema) {
+      throw std::invalid_argument("StructureExpr::Product: schema mismatch");
+    }
+  }
+  node->children = std::move(children);
+  return StructureExpr(std::move(node));
+}
+
+StructureExpr StructureExpr::Scalar(BigInt coeff, StructureExpr child) {
+  if (coeff.IsNegative()) {
+    throw std::invalid_argument("StructureExpr::Scalar: negative coefficient");
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kScalar;
+  node->schema = child.schema_ptr();
+  node->scalar = std::move(coeff);
+  node->children.push_back(std::move(child));
+  return StructureExpr(std::move(node));
+}
+
+StructureExpr StructureExpr::Power(StructureExpr child,
+                                   std::uint64_t exponent) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kPower;
+  node->schema = child.schema_ptr();
+  node->exponent = exponent;
+  node->children.push_back(std::move(child));
+  return StructureExpr(std::move(node));
+}
+
+BigInt StructureExpr::DomainSize() const {
+  switch (kind()) {
+    case Kind::kBase:
+      return BigInt(static_cast<std::int64_t>(base().DomainSize()));
+    case Kind::kSum: {
+      BigInt total(0);
+      for (const StructureExpr& child : children()) total += child.DomainSize();
+      return total;
+    }
+    case Kind::kProduct: {
+      BigInt total(1);
+      for (const StructureExpr& child : children()) total *= child.DomainSize();
+      return total;
+    }
+    case Kind::kScalar:
+      return scalar() * children()[0].DomainSize();
+    case Kind::kPower:
+      return BigInt::Pow(children()[0].DomainSize(), exponent());
+  }
+  throw std::logic_error("StructureExpr: bad kind");
+}
+
+std::vector<BigInt> StructureExpr::PerRelationFacts() const {
+  const std::size_t num_relations = schema().NumRelations();
+  std::vector<BigInt> counts(num_relations, BigInt(0));
+  switch (kind()) {
+    case Kind::kBase:
+      for (RelationId r = 0; r < num_relations; ++r) {
+        counts[r] = BigInt(static_cast<std::int64_t>(base().Facts(r).size()));
+      }
+      return counts;
+    case Kind::kSum:
+      for (const StructureExpr& child : children()) {
+        std::vector<BigInt> sub = child.PerRelationFacts();
+        for (RelationId r = 0; r < num_relations; ++r) counts[r] += sub[r];
+      }
+      return counts;
+    case Kind::kProduct: {
+      for (RelationId r = 0; r < num_relations; ++r) counts[r] = BigInt(1);
+      for (const StructureExpr& child : children()) {
+        std::vector<BigInt> sub = child.PerRelationFacts();
+        for (RelationId r = 0; r < num_relations; ++r) counts[r] *= sub[r];
+      }
+      return counts;
+    }
+    case Kind::kScalar: {
+      std::vector<BigInt> sub = children()[0].PerRelationFacts();
+      for (RelationId r = 0; r < num_relations; ++r) {
+        counts[r] = scalar() * sub[r];
+      }
+      return counts;
+    }
+    case Kind::kPower: {
+      std::vector<BigInt> sub = children()[0].PerRelationFacts();
+      for (RelationId r = 0; r < num_relations; ++r) {
+        counts[r] = BigInt::Pow(sub[r], exponent());
+      }
+      return counts;
+    }
+  }
+  throw std::logic_error("StructureExpr: bad kind");
+}
+
+BigInt StructureExpr::NumFacts() const {
+  BigInt total(0);
+  for (const BigInt& c : PerRelationFacts()) total += c;
+  return total;
+}
+
+std::optional<Structure> StructureExpr::Materialize(
+    std::size_t max_domain) const {
+  BigInt size = DomainSize();
+  if (size > BigInt(static_cast<std::int64_t>(max_domain))) return std::nullopt;
+  switch (kind()) {
+    case Kind::kBase:
+      return base();
+    case Kind::kSum: {
+      Structure result(schema_ptr(), 0);
+      for (const StructureExpr& child : children()) {
+        std::optional<Structure> sub = child.Materialize(max_domain);
+        if (!sub.has_value()) return std::nullopt;
+        result = DisjointUnion(result, *sub);
+      }
+      return result;
+    }
+    case Kind::kProduct: {
+      Structure result = AllLoopsSingleton(schema_ptr());
+      for (const StructureExpr& child : children()) {
+        std::optional<Structure> sub = child.Materialize(max_domain);
+        if (!sub.has_value()) return std::nullopt;
+        result = bagdet::Product(result, *sub);
+      }
+      return result;
+    }
+    case Kind::kScalar: {
+      if (!scalar().FitsInt64()) return std::nullopt;
+      std::optional<Structure> sub = children()[0].Materialize(max_domain);
+      if (!sub.has_value()) return std::nullopt;
+      return ScalarMultiple(static_cast<std::uint64_t>(scalar().ToInt64()),
+                            *sub);
+    }
+    case Kind::kPower: {
+      std::optional<Structure> sub = children()[0].Materialize(max_domain);
+      if (!sub.has_value()) return std::nullopt;
+      return IteratedProduct(*sub, exponent());
+    }
+  }
+  throw std::logic_error("StructureExpr: bad kind");
+}
+
+std::string StructureExpr::ToString() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case Kind::kBase:
+      os << '{' << base().ToString() << '}';
+      break;
+    case Kind::kSum: {
+      if (children().empty()) {
+        os << "0";
+        break;
+      }
+      for (std::size_t i = 0; i < children().size(); ++i) {
+        if (i != 0) os << " + ";
+        os << children()[i].ToString();
+      }
+      break;
+    }
+    case Kind::kProduct: {
+      if (children().empty()) {
+        os << "1";
+        break;
+      }
+      for (std::size_t i = 0; i < children().size(); ++i) {
+        if (i != 0) os << " x ";
+        os << '(' << children()[i].ToString() << ')';
+      }
+      break;
+    }
+    case Kind::kScalar:
+      os << scalar() << "*(" << children()[0].ToString() << ')';
+      break;
+    case Kind::kPower:
+      os << '(' << children()[0].ToString() << ")^" << exponent();
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace bagdet

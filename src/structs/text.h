@@ -1,0 +1,32 @@
+// bagdet: textual serialization of structures.
+//
+// Format: a comma/newline-separated list of facts "R(0,1), S(2), H()".
+// Elements are nonnegative integers; the domain is the range 0..max+1
+// unless extended explicitly with "domain N" (which allows isolated
+// elements beyond any fact). '#' starts a comment. Relations and arities
+// are added to the schema on first use.
+
+#ifndef BAGDET_STRUCTS_TEXT_H_
+#define BAGDET_STRUCTS_TEXT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "structs/structure.h"
+
+namespace bagdet {
+
+/// Parses a structure, growing `schema` with any new relations.
+/// Throws std::invalid_argument with a position hint on malformed input or
+/// arity conflicts.
+Structure ParseStructure(std::string_view text,
+                         const std::shared_ptr<Schema>& schema);
+
+/// Serializes a structure in a form ParseStructure accepts (including a
+/// trailing "domain N" clause when there are isolated elements).
+std::string FormatStructure(const Structure& s);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_STRUCTS_TEXT_H_

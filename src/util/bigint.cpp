@@ -1,0 +1,502 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <stdexcept>
+
+namespace bagdet {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  if (value == 0) return;
+  negative_ = value < 0;
+  // Avoid UB on INT64_MIN by negating in unsigned space.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+  if (magnitude >> 32) limbs_.push_back(static_cast<std::uint32_t>(magnitude >> 32));
+}
+
+BigInt BigInt::FromString(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt: empty string");
+  bool negative = false;
+  std::size_t i = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) throw std::invalid_argument("BigInt: no digits");
+  BigInt result;
+  const BigInt ten(10);
+  for (; i < text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      throw std::invalid_argument("BigInt: bad digit in input");
+    }
+    result *= ten;
+    result += BigInt(text[i] - '0');
+  }
+  if (negative && !result.IsZero()) result.negative_ = true;
+  return result;
+}
+
+std::size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  std::uint64_t magnitude =
+      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (negative_) return magnitude <= (1ull << 63);
+  return magnitude < (1ull << 63);
+}
+
+std::int64_t BigInt::ToInt64() const {
+  if (!FitsInt64()) throw std::overflow_error("BigInt: does not fit in int64");
+  std::uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
+  return static_cast<std::int64_t>(magnitude);
+}
+
+std::string BigInt::ToString() const {
+  if (IsZero()) return "0";
+  std::vector<std::uint32_t> magnitude = limbs_;
+  std::string digits;
+  while (!magnitude.empty()) {
+    std::uint32_t remainder = DivSmallInPlace(&magnitude, 1000000000u);
+    // All chunks except the most significant are zero-padded to 9 digits.
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.IsZero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigInt::AddMagnitude(std::vector<std::uint32_t>* a,
+                          const std::vector<std::uint32_t>& b) {
+  if (a->size() < b.size()) a->resize(b.size(), 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    std::uint64_t sum = carry + (*a)[i] + (i < b.size() ? b[i] : 0);
+    (*a)[i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) a->push_back(static_cast<std::uint32_t>(carry));
+}
+
+void BigInt::SubMagnitude(std::vector<std::uint32_t>* a,
+                          const std::vector<std::uint32_t>& b) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>((*a)[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    (*a)[i] = static_cast<std::uint32_t>(diff);
+  }
+  while (!a->empty() && a->back() == 0) a->pop_back();
+}
+
+namespace {
+
+/// Limb count below which schoolbook multiplication beats Karatsuba's
+/// bookkeeping.
+constexpr std::size_t kKaratsubaThreshold = 32;
+
+std::vector<std::uint32_t> MulSchoolbook(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = result[i + j] +
+                          static_cast<std::uint64_t>(a[i]) * b[j] + carry;
+      result[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = result[k] + carry;
+      result[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+// Adds `b` into `a` starting at limb offset `shift` (a is large enough).
+void AddInto(std::vector<std::uint32_t>* a, const std::vector<std::uint32_t>& b,
+             std::size_t shift) {
+  std::uint64_t carry = 0;
+  std::size_t i = 0;
+  for (; i < b.size(); ++i) {
+    std::uint64_t sum = carry + (*a)[shift + i] + b[i];
+    (*a)[shift + i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  while (carry != 0) {
+    std::uint64_t sum = carry + (*a)[shift + i];
+    (*a)[shift + i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+    ++i;
+  }
+}
+
+// Subtracts `b` from `a` in place; requires a >= b as magnitudes.
+void SubInto(std::vector<std::uint32_t>* a,
+             const std::vector<std::uint32_t>& b) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>((*a)[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(1ll << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    (*a)[i] = static_cast<std::uint32_t>(diff);
+  }
+  while (!a->empty() && a->back() == 0) a->pop_back();
+}
+
+std::vector<std::uint32_t> MulKaratsuba(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return MulSchoolbook(a, b);
+  }
+  // Split at half the longer operand: x = x1·B^m + x0.
+  const std::size_t m = std::max(a.size(), b.size()) / 2;
+  auto split = [m](const std::vector<std::uint32_t>& v) {
+    std::vector<std::uint32_t> low(v.begin(),
+                                   v.begin() + static_cast<std::ptrdiff_t>(
+                                                   std::min(m, v.size())));
+    std::vector<std::uint32_t> high(
+        v.size() > m ? v.begin() + static_cast<std::ptrdiff_t>(m) : v.end(),
+        v.end());
+    while (!low.empty() && low.back() == 0) low.pop_back();
+    return std::make_pair(std::move(low), std::move(high));
+  };
+  auto [a0, a1] = split(a);
+  auto [b0, b1] = split(b);
+  std::vector<std::uint32_t> z0 = MulKaratsuba(a0, b0);
+  std::vector<std::uint32_t> z2 = MulKaratsuba(a1, b1);
+  // z1 = (a0+a1)(b0+b1) - z0 - z2.
+  std::vector<std::uint32_t> a_sum = a0;
+  a_sum.resize(std::max(a_sum.size(), a1.size()) + 1, 0);
+  AddInto(&a_sum, a1, 0);
+  while (!a_sum.empty() && a_sum.back() == 0) a_sum.pop_back();
+  std::vector<std::uint32_t> b_sum = b0;
+  b_sum.resize(std::max(b_sum.size(), b1.size()) + 1, 0);
+  AddInto(&b_sum, b1, 0);
+  while (!b_sum.empty() && b_sum.back() == 0) b_sum.pop_back();
+  std::vector<std::uint32_t> z1 = MulKaratsuba(a_sum, b_sum);
+  SubInto(&z1, z0);
+  SubInto(&z1, z2);
+  // result = z2·B^(2m) + z1·B^m + z0.
+  std::vector<std::uint32_t> result(a.size() + b.size() + 1, 0);
+  AddInto(&result, z0, 0);
+  AddInto(&result, z1, m);
+  AddInto(&result, z2, 2 * m);
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> BigInt::MulMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  return MulKaratsuba(a, b);
+}
+
+std::uint32_t BigInt::DivSmallInPlace(std::vector<std::uint32_t>* a,
+                                      std::uint32_t divisor) {
+  std::uint64_t remainder = 0;
+  for (std::size_t i = a->size(); i-- > 0;) {
+    std::uint64_t cur = (remainder << 32) | (*a)[i];
+    (*a)[i] = static_cast<std::uint32_t>(cur / divisor);
+    remainder = cur % divisor;
+  }
+  while (!a->empty() && a->back() == 0) a->pop_back();
+  return static_cast<std::uint32_t>(remainder);
+}
+
+std::vector<std::uint32_t> BigInt::DivModMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b,
+    std::vector<std::uint32_t>* remainder) {
+  if (b.empty()) throw std::domain_error("BigInt: division by zero");
+  if (CompareMagnitude(a, b) < 0) {
+    *remainder = a;
+    return {};
+  }
+  if (b.size() == 1) {
+    std::vector<std::uint32_t> quotient = a;
+    std::uint32_t small = DivSmallInPlace(&quotient, b[0]);
+    remainder->clear();
+    if (small != 0) remainder->push_back(small);
+    return quotient;
+  }
+  // Knuth algorithm D with base 2^32.
+  int shift = 0;
+  for (std::uint32_t top = b.back(); top < 0x80000000u; top <<= 1) ++shift;
+  auto shift_left = [shift](const std::vector<std::uint32_t>& v) {
+    std::vector<std::uint32_t> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= shift == 0 ? v[i] : (v[i] << shift);
+      if (shift != 0) out[i + 1] |= static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(v[i]) >> (32 - shift));
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+  std::vector<std::uint32_t> u = shift_left(a);
+  std::vector<std::uint32_t> v = shift_left(b);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n;
+  u.resize(u.size() + 1, 0);
+  std::vector<std::uint32_t> quotient(m + 1, 0);
+  const std::uint64_t v_top = v[n - 1];
+  const std::uint64_t v_next = n >= 2 ? v[n - 2] : 0;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t q_hat = numerator / v_top;
+    std::uint64_t r_hat = numerator % v_top;
+    while (q_hat >= kBase ||
+           q_hat * v_next > ((r_hat << 32) | (n >= 2 ? u[j + n - 2] : 0))) {
+      --q_hat;
+      r_hat += v_top;
+      if (r_hat >= kBase) break;
+    }
+    // Multiply-subtract q_hat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) - borrow -
+                          static_cast<std::int64_t>(product & 0xffffffffu);
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t top_diff = static_cast<std::int64_t>(u[j + n]) - borrow -
+                            static_cast<std::int64_t>(carry);
+    if (top_diff < 0) {
+      // q_hat was one too large: add v back once.
+      top_diff += static_cast<std::int64_t>(kBase);
+      --q_hat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = add_carry + u[i + j] + v[i];
+        u[i + j] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+        add_carry = sum >> 32;
+      }
+      top_diff += static_cast<std::int64_t>(add_carry);
+      top_diff &= 0xffffffff;
+    }
+    u[j + n] = static_cast<std::uint32_t>(top_diff);
+    quotient[j] = static_cast<std::uint32_t>(q_hat);
+  }
+  // Un-normalize the remainder.
+  u.resize(n);
+  if (shift != 0) {
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      u[i] >>= shift;
+      if (i + 1 < u.size()) {
+        u[i] |= u[i + 1] << (32 - shift);
+      }
+    }
+  }
+  while (!u.empty() && u.back() == 0) u.pop_back();
+  *remainder = std::move(u);
+  while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+  return quotient;
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  if (negative_ == other.negative_) {
+    AddMagnitude(&limbs_, other.limbs_);
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (cmp > 0) {
+      SubMagnitude(&limbs_, other.limbs_);
+    } else {
+      std::vector<std::uint32_t> result = other.limbs_;
+      SubMagnitude(&result, limbs_);
+      limbs_ = std::move(result);
+      negative_ = other.negative_;
+    }
+  }
+  Trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) {
+  BigInt negated = other;
+  if (!negated.IsZero()) negated.negative_ = !negated.negative_;
+  return *this += negated;
+}
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  negative_ = negative_ != other.negative_;
+  limbs_ = MulMagnitude(limbs_, other.limbs_);
+  Trim();
+  return *this;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                    BigInt* remainder) {
+  BigInt q;
+  BigInt r;
+  q.limbs_ = DivModMagnitude(a.limbs_, b.limbs_, &r.limbs_);
+  q.negative_ = !q.limbs_.empty() && (a.negative_ != b.negative_);
+  r.negative_ = !r.limbs_.empty() && a.negative_;
+  q.Trim();
+  r.Trim();
+  if (quotient != nullptr) *quotient = std::move(q);
+  if (remainder != nullptr) *remainder = std::move(r);
+}
+
+BigInt& BigInt::operator/=(const BigInt& other) {
+  BigInt quotient;
+  DivMod(*this, other, &quotient, nullptr);
+  return *this = std::move(quotient);
+}
+
+BigInt& BigInt::operator%=(const BigInt& other) {
+  BigInt remainder;
+  DivMod(*this, other, nullptr, &remainder);
+  return *this = std::move(remainder);
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.IsZero()) {
+    BigInt remainder = a % b;
+    a = std::move(b);
+    b = std::move(remainder);
+  }
+  return a;
+}
+
+BigInt BigInt::Pow(const BigInt& base, std::uint64_t exponent) {
+  BigInt result(1);
+  BigInt square = base;
+  while (exponent != 0) {
+    if (exponent & 1) result *= square;
+    exponent >>= 1;
+    if (exponent != 0) square *= square;
+  }
+  return result;
+}
+
+BigInt BigInt::FloorKthRoot(const BigInt& value, std::uint64_t k) {
+  if (k == 0) throw std::domain_error("BigInt: 0th root");
+  if (value.IsNegative()) throw std::domain_error("BigInt: root of negative");
+  if (value.IsZero() || value.IsOne() || k == 1) return value;
+  // Initial guess from the bit length: 2^ceil(bits/k) >= value^(1/k).
+  std::size_t bits = value.BitLength();
+  std::uint64_t guess_bits = (bits + k - 1) / k;
+  BigInt x = Pow(BigInt(2), guess_bits);
+  const BigInt k_big(static_cast<std::int64_t>(k));
+  const BigInt k_minus_1(static_cast<std::int64_t>(k - 1));
+  // Newton: x <- ((k-1)x + value / x^(k-1)) / k, monotonically decreasing
+  // once above the root.
+  for (;;) {
+    BigInt x_pow = Pow(x, k - 1);
+    BigInt next = (k_minus_1 * x + value / x_pow) / k_big;
+    if (next >= x) break;
+    x = std::move(next);
+  }
+  // Newton can land one too high for small inputs; fix up.
+  while (Pow(x, k) > value) x -= BigInt(1);
+  return x;
+}
+
+BigInt::RootResult BigInt::KthRoot(const BigInt& value, std::uint64_t k) {
+  BigInt root = FloorKthRoot(value, k);
+  bool exact = Pow(root, k) == value;
+  return RootResult{std::move(root), exact};
+}
+
+bool operator<(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) return a.negative_;
+  int cmp = BigInt::CompareMagnitude(a.limbs_, b.limbs_);
+  return a.negative_ ? cmp > 0 : cmp < 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+std::size_t BigInt::Hash() const {
+  std::size_t seed = negative_ ? 0x9e3779b97f4a7c15ull : 0;
+  for (std::uint32_t limb : limbs_) {
+    seed ^= limb + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+}  // namespace bagdet

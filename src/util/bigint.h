@@ -1,0 +1,151 @@
+// bagdet: arbitrary-precision signed integers.
+//
+// Homomorphism counts manipulated by the determinacy pipeline grow like
+// T^m (radix construction, Step 2 of Lemma 40) and like c^(k-1) (structure
+// powers, Step 3), so 64-bit arithmetic is not an option anywhere on the
+// decision path. BigInt is a plain value type: sign + little-endian
+// base-2^32 magnitude.
+
+#ifndef BAGDET_UTIL_BIGINT_H_
+#define BAGDET_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bagdet {
+
+/// Arbitrary-precision signed integer.
+///
+/// Invariants: `limbs_` has no trailing zero limbs; zero is represented as
+/// an empty limb vector with `negative_ == false`.
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a native signed integer.
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parses a decimal string with optional leading '-'.
+  /// Throws std::invalid_argument on malformed input.
+  static BigInt FromString(std::string_view text);
+
+  /// True iff the value is zero.
+  bool IsZero() const { return limbs_.empty(); }
+  /// True iff the value is strictly negative.
+  bool IsNegative() const { return negative_; }
+  /// True iff the value is one.
+  bool IsOne() const { return !negative_ && limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// -1, 0, or +1 according to the sign of the value.
+  int Sign() const { return IsZero() ? 0 : (negative_ ? -1 : 1); }
+
+  /// Number of bits in the magnitude (0 for zero).
+  std::size_t BitLength() const;
+
+  /// Returns the value as int64 if it fits, throws std::overflow_error
+  /// otherwise.
+  std::int64_t ToInt64() const;
+
+  /// True iff the value fits in an int64.
+  bool FitsInt64() const;
+
+  /// Decimal representation.
+  std::string ToString() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
+  BigInt& operator/=(const BigInt& other);  ///< Truncated (toward zero).
+  BigInt& operator%=(const BigInt& other);  ///< Sign follows the dividend.
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+
+  /// Quotient and remainder in one pass; remainder's sign follows `a`.
+  /// Throws std::domain_error when `b` is zero.
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                     BigInt* remainder);
+
+  /// Nonnegative greatest common divisor; Gcd(0, 0) == 0.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// `base` raised to `exponent` (exponent >= 0). Pow(0, 0) == 1, matching
+  /// the paper's convention 0^0 = 1.
+  static BigInt Pow(const BigInt& base, std::uint64_t exponent);
+
+  /// Floor of the k-th root of a nonnegative value (k >= 1), via Newton
+  /// iteration with exact arithmetic. Throws std::domain_error for
+  /// negative values or k == 0.
+  static BigInt FloorKthRoot(const BigInt& value, std::uint64_t k);
+
+  struct RootResult;
+  /// The floor k-th root together with an exactness flag (`exact` is true
+  /// iff `value` is a perfect k-th power).
+  static RootResult KthRoot(const BigInt& value, std::uint64_t k);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return !(a == b); }
+  friend bool operator<(const BigInt& a, const BigInt& b);
+  friend bool operator>(const BigInt& a, const BigInt& b) { return b < a; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) { return !(b < a); }
+  friend bool operator>=(const BigInt& a, const BigInt& b) { return !(a < b); }
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+  /// Hash suitable for unordered containers.
+  std::size_t Hash() const;
+
+ private:
+  // Compares magnitudes only: -1, 0, +1.
+  static int CompareMagnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b);
+  static void AddMagnitude(std::vector<std::uint32_t>* a,
+                           const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static void SubMagnitude(std::vector<std::uint32_t>* a,
+                           const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> MulMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Divides magnitude a by magnitude b; returns quotient, stores remainder.
+  static std::vector<std::uint32_t> DivModMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b,
+      std::vector<std::uint32_t>* remainder);
+  // Divides magnitude in place by a small divisor, returns the remainder.
+  static std::uint32_t DivSmallInPlace(std::vector<std::uint32_t>* a,
+                                       std::uint32_t divisor);
+  void Trim();
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> limbs_;
+};
+
+/// Result of BigInt::KthRoot.
+struct BigInt::RootResult {
+  BigInt root;  ///< Floor of the k-th root.
+  bool exact;   ///< True iff root^k equals the input exactly.
+};
+
+}  // namespace bagdet
+
+namespace std {
+template <>
+struct hash<bagdet::BigInt> {
+  std::size_t operator()(const bagdet::BigInt& value) const {
+    return value.Hash();
+  }
+};
+}  // namespace std
+
+#endif  // BAGDET_UTIL_BIGINT_H_

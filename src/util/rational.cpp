@@ -1,0 +1,121 @@
+#include "util/rational.h"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace bagdet {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  if (denominator_.IsZero()) {
+    throw std::domain_error("Rational: zero denominator");
+  }
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (denominator_.IsNegative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.IsZero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt gcd = BigInt::Gcd(numerator_, denominator_);
+  if (!gcd.IsOne()) {
+    numerator_ /= gcd;
+    denominator_ /= gcd;
+  }
+}
+
+Rational Rational::FromString(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return Rational(BigInt::FromString(text));
+  }
+  return Rational(BigInt::FromString(text.substr(0, slash)),
+                  BigInt::FromString(text.substr(slash + 1)));
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational Rational::Inverse() const {
+  if (IsZero()) throw std::domain_error("Rational: inverse of zero");
+  Rational result;
+  result.numerator_ = denominator_;
+  result.denominator_ = numerator_;
+  if (result.denominator_.IsNegative()) {
+    result.numerator_ = -result.numerator_;
+    result.denominator_ = -result.denominator_;
+  }
+  return result;
+}
+
+Rational Rational::Abs() const {
+  Rational result = *this;
+  result.numerator_ = result.numerator_.Abs();
+  return result;
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+  numerator_ = numerator_ * other.denominator_ + other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) {
+  numerator_ = numerator_ * other.denominator_ - other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& other) {
+  numerator_ *= other.numerator_;
+  denominator_ *= other.denominator_;
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+  if (other.IsZero()) throw std::domain_error("Rational: division by zero");
+  numerator_ *= other.denominator_;
+  denominator_ *= other.numerator_;
+  Normalize();
+  return *this;
+}
+
+Rational Rational::Pow(const Rational& base, std::int64_t exponent) {
+  if (exponent == 0) return Rational(1);  // Includes 0^0 == 1.
+  if (base.IsZero() && exponent < 0) {
+    throw std::domain_error("Rational: 0 raised to a negative power");
+  }
+  bool invert = exponent < 0;
+  std::uint64_t e = invert ? ~static_cast<std::uint64_t>(exponent) + 1
+                           : static_cast<std::uint64_t>(exponent);
+  Rational result(BigInt::Pow(base.numerator_, e),
+                  BigInt::Pow(base.denominator_, e));
+  return invert ? result.Inverse() : result;
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  return a.numerator_ * b.denominator_ < b.numerator_ * a.denominator_;
+}
+
+std::string Rational::ToString() const {
+  if (IsInteger()) return numerator_.ToString();
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace bagdet

@@ -1,0 +1,177 @@
+// Tests for answering queries from view counts alone (the use-case a
+// positive determinacy verdict enables) and the BigInt root extraction
+// beneath it.
+
+#include <gtest/gtest.h>
+
+#include "core/determinacy.h"
+#include "query/cq.h"
+#include "structs/generator.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+TEST(KthRootTest, SmallExactRoots) {
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(0), 3), BigInt(0));
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(1), 7), BigInt(1));
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(27), 3), BigInt(3));
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(64), 2), BigInt(8));
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(64), 3), BigInt(4));
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(64), 6), BigInt(2));
+}
+
+TEST(KthRootTest, FloorBehaviour) {
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(26), 3), BigInt(2));
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(28), 3), BigInt(3));
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(99), 2), BigInt(9));
+  EXPECT_FALSE(BigInt::KthRoot(BigInt(26), 3).exact);
+  EXPECT_TRUE(BigInt::KthRoot(BigInt(27), 3).exact);
+}
+
+TEST(KthRootTest, ErrorCases) {
+  EXPECT_THROW(BigInt::FloorKthRoot(BigInt(8), 0), std::domain_error);
+  EXPECT_THROW(BigInt::FloorKthRoot(BigInt(-8), 3), std::domain_error);
+  EXPECT_EQ(BigInt::FloorKthRoot(BigInt(12345), 1), BigInt(12345));
+}
+
+class KthRootPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KthRootPropertyTest, RoundTripsOnRandomPowers) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    BigInt base(static_cast<std::int64_t>(rng.Below(1000)));
+    std::uint64_t k = 2 + rng.Below(6);  // k >= 2: the k = 1 case is trivial.
+    BigInt power = BigInt::Pow(base, k);
+    BigInt::RootResult result = BigInt::KthRoot(power, k);
+    EXPECT_TRUE(result.exact) << base << "^" << k;
+    EXPECT_EQ(result.root, base);
+    // Floor property on power ± 1 (base >= 2 so neither is a perfect
+    // k-th power).
+    if (base > BigInt(1)) {
+      EXPECT_EQ(BigInt::FloorKthRoot(power + BigInt(1), k), base);
+      EXPECT_EQ(BigInt::FloorKthRoot(power - BigInt(1), k),
+                base - BigInt(1));
+    }
+  }
+}
+
+TEST_P(KthRootPropertyTest, HugeRoots) {
+  Rng rng(GetParam() * 3 + 1);
+  for (int iter = 0; iter < 10; ++iter) {
+    // ~200-bit base, cube it: ~600-bit value.
+    BigInt base(1);
+    for (int i = 0; i < 6; ++i) {
+      base = base * BigInt::FromString("4294967296") +
+             BigInt(static_cast<std::int64_t>(rng.Below(1ull << 32)));
+    }
+    BigInt cube = BigInt::Pow(base, 3);
+    EXPECT_EQ(BigInt::FloorKthRoot(cube, 3), base);
+    EXPECT_EQ(BigInt::FloorKthRoot(cube + BigInt(17), 3), base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KthRootPropertyTest,
+                         ::testing::Values(61, 62, 63));
+
+class AnswerFromCountsTest : public ::testing::Test {
+ protected:
+  // Example-32 instance: q = w1+w2+2w3, v1 = 2w1+w2+3w3, v2 = 5w1+2w2+7w3;
+  // witness q(D) = v1(D)^3 / v2(D).
+  void SetUp() override {
+    schema_ = std::make_shared<Schema>();
+    RelationId r = schema_->AddRelation("R", 2);
+    Structure loop(schema_);
+    loop.AddFact(r, {0, 0});
+    Structure edge(schema_);
+    edge.AddFact(r, {0, 1});
+    Structure path2(schema_);
+    path2.AddFact(r, {0, 1});
+    path2.AddFact(r, {1, 2});
+    auto combine = [&](int a, int b, int c) {
+      Structure s(schema_);
+      for (int i = 0; i < a; ++i) s = DisjointUnion(s, loop);
+      for (int i = 0; i < b; ++i) s = DisjointUnion(s, edge);
+      for (int i = 0; i < c; ++i) s = DisjointUnion(s, path2);
+      return s;
+    };
+    query_ = BooleanQueryFromStructure("q", combine(1, 1, 2));
+    views_ = {BooleanQueryFromStructure("v1", combine(2, 1, 3)),
+              BooleanQueryFromStructure("v2", combine(5, 2, 7))};
+    result_ = DecideBagDeterminacy(views_, query_);
+    ASSERT_TRUE(result_.determined);
+  }
+
+  std::shared_ptr<Schema> schema_;
+  ConjunctiveQuery query_;
+  std::vector<ConjunctiveQuery> views_;
+  DeterminacyResult result_;
+};
+
+TEST_F(AnswerFromCountsTest, RecoversTrueAnswerOnRandomDatabases) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 12; ++iter) {
+    Structure d = RandomStructure(schema_, 1 + rng.Below(4), &rng);
+    std::vector<BigInt> counts;
+    for (std::size_t index : result_.witness->view_indices) {
+      counts.push_back(views_[index].CountHomomorphisms(d));
+    }
+    EXPECT_EQ(AnswerFromViewCounts(*result_.witness, counts),
+              query_.CountHomomorphisms(d))
+        << d.ToString();
+  }
+}
+
+TEST_F(AnswerFromCountsTest, ZeroViewCountShortCircuits) {
+  std::vector<BigInt> counts = {BigInt(0), BigInt(123)};
+  EXPECT_EQ(AnswerFromViewCounts(*result_.witness, counts), BigInt(0));
+}
+
+TEST_F(AnswerFromCountsTest, InconsistentCountsRejected) {
+  // Counts no real database can produce under this witness.
+  std::vector<BigInt> counts = {BigInt(2), BigInt(3)};
+  EXPECT_THROW(AnswerFromViewCounts(*result_.witness, counts),
+               std::invalid_argument);
+  EXPECT_THROW(AnswerFromViewCounts(*result_.witness, {BigInt(1)}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      AnswerFromViewCounts(*result_.witness, {BigInt(-1), BigInt(1)}),
+      std::invalid_argument);
+}
+
+TEST(AnswerFromCountsFractionalTest, CubeRootWitness) {
+  // q = w1+w2, v1 = 2w1+w2, v2 = w1+2w2: alpha = (1/3, 1/3) ... actually
+  // q⃗ = (v⃗1 + v⃗2)/3, so q(D)^3 = v1(D)·v2(D): a genuine root extraction.
+  auto schema = std::make_shared<Schema>();
+  RelationId e = schema->AddRelation("E", 2);
+  Structure loop(schema);
+  loop.AddFact(e, {0, 0});
+  Structure edge(schema);
+  edge.AddFact(e, {0, 1});
+  auto combine = [&](int a, int b) {
+    Structure s(schema);
+    for (int i = 0; i < a; ++i) s = DisjointUnion(s, loop);
+    for (int i = 0; i < b; ++i) s = DisjointUnion(s, edge);
+    return s;
+  };
+  ConjunctiveQuery q = BooleanQueryFromStructure("q", combine(1, 1));
+  std::vector<ConjunctiveQuery> views = {
+      BooleanQueryFromStructure("v1", combine(2, 1)),
+      BooleanQueryFromStructure("v2", combine(1, 2)),
+  };
+  DeterminacyResult result = DecideBagDeterminacy(views, q);
+  ASSERT_TRUE(result.determined);
+  Rng rng(777);
+  for (int iter = 0; iter < 10; ++iter) {
+    Structure d = RandomStructure(schema, 1 + rng.Below(4), &rng);
+    std::vector<BigInt> counts;
+    for (std::size_t index : result.witness->view_indices) {
+      counts.push_back(views[index].CountHomomorphisms(d));
+    }
+    EXPECT_EQ(AnswerFromViewCounts(*result.witness, counts),
+              q.CountHomomorphisms(d));
+  }
+}
+
+}  // namespace
+}  // namespace bagdet

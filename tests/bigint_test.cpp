@@ -1,0 +1,302 @@
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.Sign(), 0);
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z.ToInt64(), 0);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  const std::vector<std::int64_t> values = {
+      0, 1, -1, 42, -9999999, (std::int64_t{1} << 40),
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t v : values) {
+    BigInt b(v);
+    EXPECT_TRUE(b.FitsInt64()) << v;
+    EXPECT_EQ(b.ToInt64(), v);
+  }
+}
+
+TEST(BigIntTest, Int64MinBoundary) {
+  BigInt min_val(std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(min_val.FitsInt64());
+  BigInt just_below = min_val - BigInt(1);
+  EXPECT_FALSE(just_below.FitsInt64());
+  EXPECT_THROW(just_below.ToInt64(), std::overflow_error);
+  BigInt max_val(std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE((max_val + BigInt(1)).FitsInt64());
+}
+
+TEST(BigIntTest, StringRoundTripSmall) {
+  const std::vector<std::int64_t> values = {0, 7, -7, 123456789,
+                                            -987654321012345};
+  for (std::int64_t v : values) {
+    EXPECT_EQ(BigInt::FromString(BigInt(v).ToString()), BigInt(v));
+  }
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::FromString(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromString("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromString("12a3"), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromString("0x10"), std::invalid_argument);
+}
+
+TEST(BigIntTest, FromStringAcceptsPlusAndZeros) {
+  EXPECT_EQ(BigInt::FromString("+17"), BigInt(17));
+  EXPECT_EQ(BigInt::FromString("000"), BigInt(0));
+  EXPECT_EQ(BigInt::FromString("-0"), BigInt(0));
+  EXPECT_EQ(BigInt::FromString("-000123"), BigInt(-123));
+}
+
+TEST(BigIntTest, LargeDecimalRoundTrip) {
+  std::string digits = "123456789012345678901234567890123456789012345678901";
+  BigInt big = BigInt::FromString(digits);
+  EXPECT_EQ(big.ToString(), digits);
+  EXPECT_EQ((-big).ToString(), "-" + digits);
+  EXPECT_FALSE(big.FitsInt64());
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::FromString("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).ToString(), "4294967296");
+  BigInt b = BigInt::FromString("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, SubtractionBorrowsAndFlipsSign) {
+  EXPECT_EQ(BigInt(5) - BigInt(7), BigInt(-2));
+  BigInt b = BigInt::FromString("18446744073709551616");
+  EXPECT_EQ((b - BigInt(1)).ToString(), "18446744073709551615");
+  EXPECT_EQ(b - b, BigInt(0));
+}
+
+TEST(BigIntTest, MultiplicationSigns) {
+  EXPECT_EQ(BigInt(-3) * BigInt(4), BigInt(-12));
+  EXPECT_EQ(BigInt(-3) * BigInt(-4), BigInt(12));
+  EXPECT_EQ(BigInt(0) * BigInt(-4), BigInt(0));
+  EXPECT_FALSE((BigInt(0) * BigInt(-4)).IsNegative());
+}
+
+TEST(BigIntTest, SchoolbookMultiplicationLarge) {
+  BigInt a = BigInt::FromString("12345678901234567890");
+  BigInt b = BigInt::FromString("98765432109876543210");
+  EXPECT_EQ((a * b).ToString(), "1219326311370217952237463801111263526900");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) / BigInt(-2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+  EXPECT_EQ(BigInt(7) % BigInt(-2), BigInt(1));
+}
+
+TEST(BigIntTest, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), std::domain_error);
+  EXPECT_THROW(BigInt(1) % BigInt(0), std::domain_error);
+}
+
+TEST(BigIntTest, KnuthDivisionMultiLimb) {
+  BigInt a = BigInt::FromString("340282366920938463463374607431768211456");
+  BigInt b = BigInt::FromString("18446744073709551616");
+  EXPECT_EQ((a / b).ToString(), "18446744073709551616");
+  EXPECT_EQ(a % b, BigInt(0));
+  // A case exercising the q_hat correction path (top limbs close).
+  BigInt c = BigInt::FromString("79228162514264337593543950335");
+  BigInt d = BigInt::FromString("79228162514264337593543950336");
+  EXPECT_EQ(c / d, BigInt(0));
+  EXPECT_EQ(c % d, c);
+}
+
+TEST(BigIntTest, PowMatchesRepeatedMultiply) {
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 10), BigInt(1024));
+  EXPECT_EQ(BigInt::Pow(BigInt(0), 0), BigInt(1));  // Paper's convention.
+  EXPECT_EQ(BigInt::Pow(BigInt(0), 5), BigInt(0));
+  EXPECT_EQ(BigInt::Pow(BigInt(-2), 3), BigInt(-8));
+  EXPECT_EQ(BigInt::Pow(BigInt(-2), 4), BigInt(16));
+  EXPECT_EQ(BigInt::Pow(BigInt(10), 30).ToString(),
+            "1000000000000000000000000000000");
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  std::vector<BigInt> ordered = {
+      BigInt::FromString("-99999999999999999999"), BigInt(-2), BigInt(0),
+      BigInt(1), BigInt::FromString("99999999999999999999")};
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    for (std::size_t j = 0; j < ordered.size(); ++j) {
+      EXPECT_EQ(ordered[i] < ordered[j], i < j);
+      EXPECT_EQ(ordered[i] == ordered[j], i == j);
+      EXPECT_EQ(ordered[i] <= ordered[j], i <= j);
+    }
+  }
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 100).BitLength(), 101u);
+}
+
+TEST(BigIntTest, HashEqualValuesAgree) {
+  BigInt a = BigInt::FromString("123456789012345678901234567890");
+  BigInt b = BigInt::FromString("123456789012345678901234567890");
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), (-a).Hash());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cross-validation against native __int128 arithmetic.
+
+class BigIntRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntRandomTest, ArithmeticMatchesInt128) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    std::int64_t x = rng.Range(-1'000'000'000, 1'000'000'000);
+    std::int64_t y = rng.Range(-1'000'000'000, 1'000'000'000);
+    BigInt bx(x);
+    BigInt by(y);
+    EXPECT_EQ((bx + by).ToInt64(), x + y);
+    EXPECT_EQ((bx - by).ToInt64(), x - y);
+    __int128 product = static_cast<__int128>(x) * y;
+    BigInt bp = bx * by;
+    if (bp.FitsInt64()) {
+      EXPECT_EQ(static_cast<__int128>(bp.ToInt64()), product);
+    }
+    if (y != 0) {
+      EXPECT_EQ((bx / by).ToInt64(), x / y);
+      EXPECT_EQ((bx % by).ToInt64(), x % y);
+    }
+  }
+}
+
+TEST_P(BigIntRandomTest, DivModInvariant) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int iter = 0; iter < 100; ++iter) {
+    // Build random big operands from several limbs.
+    BigInt a(0);
+    BigInt b(0);
+    int limbs_a = 1 + static_cast<int>(rng.Below(6));
+    int limbs_b = 1 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < limbs_a; ++i) {
+      a = a * BigInt::FromString("4294967296") +
+          BigInt(static_cast<std::int64_t>(rng.Below(1ull << 32)));
+    }
+    for (int i = 0; i < limbs_b; ++i) {
+      b = b * BigInt::FromString("4294967296") +
+          BigInt(static_cast<std::int64_t>(rng.Below(1ull << 32)));
+    }
+    if (rng.Chance(1, 2)) a = -a;
+    if (b.IsZero()) b = BigInt(1);
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+    // Remainder sign follows the dividend.
+    if (!r.IsZero()) {
+      EXPECT_EQ(r.Sign(), a.Sign());
+    }
+  }
+}
+
+TEST_P(BigIntRandomTest, MulDivRoundTrip) {
+  Rng rng(GetParam() * 131 + 3);
+  for (int iter = 0; iter < 100; ++iter) {
+    BigInt a(static_cast<std::int64_t>(rng.Below(1ull << 62)));
+    BigInt b(static_cast<std::int64_t>(1 + rng.Below(1ull << 30)));
+    BigInt c = a * b;
+    EXPECT_EQ(c / b, a);
+    EXPECT_EQ(c % b, BigInt(0));
+  }
+}
+
+TEST_P(BigIntRandomTest, StringRoundTripRandom) {
+  Rng rng(GetParam() * 977 + 11);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string digits;
+    digits.push_back(static_cast<char>('1' + rng.Below(9)));
+    std::size_t length = rng.Below(60);
+    for (std::size_t i = 0; i < length; ++i) {
+      digits.push_back(static_cast<char>('0' + rng.Below(10)));
+    }
+    if (rng.Chance(1, 2)) digits.insert(digits.begin(), '-');
+    EXPECT_EQ(BigInt::FromString(digits).ToString(), digits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Karatsuba multiplication: cross-validated against an independent
+// schoolbook recomputation via string arithmetic identities.
+
+class KaratsubaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KaratsubaTest, LargeProductsSatisfyRingIdentities) {
+  Rng rng(GetParam() * 7919 + 1);
+  auto random_big = [&rng](int limbs) {
+    BigInt x(0);
+    const BigInt base = BigInt::FromString("4294967296");
+    for (int i = 0; i < limbs; ++i) {
+      x = x * base + BigInt(static_cast<std::int64_t>(rng.Below(1ull << 32)));
+    }
+    return x;
+  };
+  for (int iter = 0; iter < 8; ++iter) {
+    // Sizes straddling the Karatsuba threshold (32 limbs), including
+    // unbalanced operands.
+    BigInt a = random_big(20 + static_cast<int>(rng.Below(60)));
+    BigInt b = random_big(20 + static_cast<int>(rng.Below(60)));
+    BigInt c = random_big(5);
+    // Distributivity ties the fast path to additions (which are simple).
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a + b) * c, a * c + b * c);
+    // Division (independent code path) inverts the product.
+    BigInt p = a * b;
+    EXPECT_EQ(p / a, b);
+    EXPECT_EQ(p % a, BigInt(0));
+    EXPECT_EQ(p / b, a);
+    // Commutativity across the unbalanced split.
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST_P(KaratsubaTest, SquaresOfPowersHaveExactDigits) {
+  // (10^n)^2 = 10^(2n): digit counts pin the limb bookkeeping exactly.
+  std::uint64_t n = 50 + GetParam() * 37;
+  BigInt p = BigInt::Pow(BigInt(10), n);
+  BigInt square = p * p;
+  EXPECT_EQ(square.ToString().size(), 2 * n + 1);
+  EXPECT_EQ(BigInt::FloorKthRoot(square, 2), p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KaratsubaTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace bagdet

@@ -1,0 +1,87 @@
+#include "linalg/cone.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+Rational Q(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+TEST(ConeTest, RejectsSingularMatrices) {
+  EXPECT_THROW(SimplicialCone(Mat{{Q(2), Q(4)}, {Q(1), Q(2)}}),
+               std::invalid_argument);
+  EXPECT_THROW(SimplicialCone(Mat(2, 3)), std::invalid_argument);
+}
+
+TEST(ConeTest, MembershipExample54) {
+  // The Example-54 matrix [[1,1],[1,2]].
+  SimplicialCone cone(Mat{{Q(1), Q(1)}, {Q(1), Q(2)}});
+  // Columns and their nonnegative combinations are inside.
+  EXPECT_TRUE(cone.Contains(Vec{Q(1), Q(1)}));
+  EXPECT_TRUE(cone.Contains(Vec{Q(1), Q(2)}));
+  EXPECT_TRUE(cone.Contains(Vec{Q(2), Q(3)}));
+  EXPECT_TRUE(cone.Contains(Vec{Q(0), Q(0)}));
+  // Below the first generator's ray: outside.
+  EXPECT_FALSE(cone.Contains(Vec{Q(1), Q(0)}));
+  EXPECT_FALSE(cone.Contains(Vec{Q(-1), Q(-1)}));
+  // Boundary points are contained but not strictly.
+  EXPECT_TRUE(cone.Contains(Vec{Q(1), Q(1)}));
+  EXPECT_FALSE(cone.StrictlyContains(Vec{Q(1), Q(1)}));
+  EXPECT_TRUE(cone.StrictlyContains(Vec{Q(2), Q(3)}));
+}
+
+TEST(ConeTest, InteriorPointIsStrictlyInside) {
+  SimplicialCone cone(Mat{{Q(1), Q(1)}, {Q(1), Q(2)}});
+  Vec p = cone.InteriorPoint();
+  EXPECT_EQ(p, (Vec{Q(2), Q(3)}));
+  EXPECT_TRUE(cone.StrictlyContains(p));
+}
+
+TEST(ConeTest, ScaleIntoLatticeLemma55) {
+  SimplicialCone cone(Mat{{Q(1), Q(1)}, {Q(1), Q(2)}});
+  // p = M · (1/2, 1/3): coordinates have denominators 2 and 3 -> c = 6.
+  Vec p = cone.matrix().Apply(Vec{Q(1, 2), Q(1, 3)});
+  std::optional<BigInt> c = cone.ScaleIntoLattice(p);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, BigInt(6));
+  // c·p has natural coordinates.
+  Vec scaled_coords = cone.Coordinates(p * Rational(*c));
+  EXPECT_TRUE(scaled_coords.IsIntegral());
+  EXPECT_TRUE(scaled_coords.IsNonNegative());
+  // Points outside the cone cannot be scaled in.
+  EXPECT_FALSE(cone.ScaleIntoLattice(Vec{Q(1), Q(0)}).has_value());
+}
+
+TEST(ConeTest, RandomizedMembershipConsistency) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::size_t n = 2 + rng.Below(3);
+    Mat m(n, n);
+    do {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          m.At(r, c) = Q(rng.Range(0, 6));
+        }
+      }
+    } while (!IsNonsingular(m));
+    SimplicialCone cone(m);
+    // Nonnegative combinations are members; their coordinates round-trip.
+    Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = Q(rng.Range(0, 5));
+    Vec p = m.Apply(x);
+    EXPECT_TRUE(cone.Contains(p));
+    EXPECT_EQ(cone.Coordinates(p), x);
+    // A combination with a negative coefficient is outside (coordinates
+    // are unique for simplicial cones).
+    Vec y = x;
+    y[rng.Below(n)] = Q(-1 - static_cast<std::int64_t>(rng.Below(3)));
+    EXPECT_FALSE(cone.Contains(m.Apply(y)));
+  }
+}
+
+}  // namespace
+}  // namespace bagdet

@@ -1,0 +1,199 @@
+// Tests for the Theorem-2 reduction (Appendix A): polynomials, the emitted
+// schema/queries, and Lemmas 59–63 on concrete instances.
+
+#include "hilbert/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "hilbert/polynomial.h"
+
+namespace bagdet {
+namespace {
+
+TEST(PolynomialTest, ParseSimple) {
+  DiophantineInstance inst = DiophantineInstance::Parse("x0^2*x1 - 2*x1 + 7");
+  ASSERT_EQ(inst.monomials().size(), 3u);
+  EXPECT_EQ(inst.NumUnknowns(), 2u);
+  EXPECT_EQ(inst.monomials()[0].coefficient, 1);
+  EXPECT_EQ(inst.monomials()[0].Degree(0), 2u);
+  EXPECT_EQ(inst.monomials()[0].Degree(1), 1u);
+  EXPECT_EQ(inst.monomials()[1].coefficient, -2);
+  EXPECT_EQ(inst.monomials()[2].coefficient, 7);
+  EXPECT_EQ(inst.monomials()[2].Degree(0), 0u);
+}
+
+TEST(PolynomialTest, ParseImplicitMultiplyAndLeadingSign) {
+  DiophantineInstance inst = DiophantineInstance::Parse("-3x0x1 + x0^2");
+  ASSERT_EQ(inst.monomials().size(), 2u);
+  EXPECT_EQ(inst.monomials()[0].coefficient, -3);
+  EXPECT_EQ(inst.monomials()[0].Degree(0), 1u);
+  EXPECT_EQ(inst.monomials()[0].Degree(1), 1u);
+}
+
+TEST(PolynomialTest, ParseRejectsGarbage) {
+  EXPECT_THROW(DiophantineInstance::Parse("x0 + + x1"), std::invalid_argument);
+  EXPECT_THROW(DiophantineInstance::Parse("y0"), std::invalid_argument);
+  EXPECT_THROW(DiophantineInstance::Parse("x"), std::invalid_argument);
+  EXPECT_THROW(DiophantineInstance::Parse("x0^"), std::invalid_argument);
+}
+
+TEST(PolynomialTest, WhitespaceIsImplicitMultiplication) {
+  // "x0 x1" reads as x0*x1 (like juxtaposition in written algebra).
+  DiophantineInstance inst = DiophantineInstance::Parse("x0 x1 - 2");
+  EXPECT_EQ(inst.Evaluate({1, 2}), BigInt(0));
+}
+
+TEST(PolynomialTest, EvaluateAndToString) {
+  DiophantineInstance inst = DiophantineInstance::Parse("x0^2 - 4");
+  EXPECT_EQ(inst.Evaluate({2}), BigInt(0));
+  EXPECT_EQ(inst.Evaluate({3}), BigInt(5));
+  EXPECT_EQ(inst.ToString(), "x0^2 - 4");
+}
+
+TEST(PolynomialTest, FindSolutionBounded) {
+  DiophantineInstance square = DiophantineInstance::Parse("x0^2 - 4");
+  auto solution = square.FindSolution(5);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0], 2u);
+
+  DiophantineInstance none = DiophantineInstance::Parse("x0 + 1");
+  EXPECT_FALSE(none.FindSolution(10).has_value());
+
+  DiophantineInstance pythagoras =
+      DiophantineInstance::Parse("x0^2 + x1^2 - x2^2 - 25");
+  auto p = pythagoras.FindSolution(6);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(pythagoras.Evaluate(*p).IsZero());
+}
+
+TEST(ReductionTest, SchemaShape) {
+  DiophantineInstance inst = DiophantineInstance::Parse("x0*x1 - 2");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  EXPECT_EQ(red.schema->Arity(red.h_relation), 0u);
+  EXPECT_EQ(red.schema->Arity(red.c_relation), 0u);
+  ASSERT_EQ(red.x_relations.size(), 2u);
+  EXPECT_EQ(red.schema->Arity(red.x_relations[0]), 1u);
+  // Views: V1, Vx0, Vx1, VI.
+  EXPECT_EQ(red.views.size(), 4u);
+  // V_I has |c(m)| copies per monomial: 1 + 2 = 3 disjuncts.
+  EXPECT_EQ(red.views.back().disjuncts().size(), 3u);
+}
+
+TEST(ReductionTest, Lemma59MonomialValue) {
+  // m_D = c(m) · Φ_m(D).
+  DiophantineInstance inst = DiophantineInstance::Parse("3*x0^2*x1 - 5*x1");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  for (std::uint64_t a : {0, 1, 2, 3}) {
+    for (std::uint64_t b : {0, 1, 2}) {
+      Structure d = red.MakeStructure(true, false, {a, b});
+      for (std::size_t mi = 0; mi < inst.monomials().size(); ++mi) {
+        const Monomial& m = inst.monomials()[mi];
+        BigInt phi = red.phi[mi].CountHomomorphisms(d);
+        EXPECT_EQ(m.Evaluate({a, b}), BigInt(m.coefficient) * phi);
+      }
+    }
+  }
+}
+
+TEST(ReductionTest, Lemmas60And61PsiValues) {
+  DiophantineInstance inst = DiophantineInstance::Parse("2*x0 - x0^2");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  for (int h = 0; h <= 1; ++h) {
+    for (int c = 0; c <= 1; ++c) {
+      for (std::uint64_t a : {0, 1, 2, 3}) {
+        Structure d = red.MakeStructure(h == 1, c == 1, {a});
+        // Lemma 60: D_H · Σ_{m ∈ P} m_D = Ψ_P(D).
+        BigInt positive_sum(0);
+        BigInt negative_sum(0);
+        for (const Monomial& m : inst.monomials()) {
+          if (m.coefficient > 0) positive_sum += m.Evaluate({a});
+          if (m.coefficient < 0) negative_sum += m.Evaluate({a});
+        }
+        EXPECT_EQ(BigInt(h) * positive_sum, red.psi_positive.Count(d));
+        // Lemma 61: D_C · Σ_{m ∈ N} m_D = −Ψ_N(D).
+        EXPECT_EQ(BigInt(c) * negative_sum, -red.psi_negative.Count(d));
+      }
+    }
+  }
+}
+
+TEST(ReductionTest, Lemma63SolutionGivesWitnessPair) {
+  // x0^2 - 4 has the solution x0 = 2: the witness pair agrees on all views
+  // and disagrees on q.
+  DiophantineInstance inst = DiophantineInstance::Parse("x0^2 - 4");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  auto solution = inst.FindSolution(5);
+  ASSERT_TRUE(solution.has_value());
+  auto [d, d_prime] = red.WitnessPair(*solution);
+  EXPECT_EQ(red.EvaluateViews(d), red.EvaluateViews(d_prime));
+  EXPECT_NE(red.query.Count(d), red.query.Count(d_prime));
+}
+
+TEST(ReductionTest, Lemma63NonSolutionsGiveNoWitness) {
+  // For x0 = 3 (not a solution), V_I must disagree between D and D'.
+  DiophantineInstance inst = DiophantineInstance::Parse("x0^2 - 4");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  auto [d, d_prime] = red.WitnessPair({3});
+  EXPECT_NE(red.EvaluateViews(d), red.EvaluateViews(d_prime));
+}
+
+TEST(ReductionTest, Lemma62StructurePairsCollapseToSolutions) {
+  // Unsolvable instance x0 + 1: NO pair of distinct structures over the
+  // schema (bounded sweep) agrees on all views — i.e. V bag-determines q,
+  // matching "no solution ⇒ determined".
+  DiophantineInstance inst = DiophantineInstance::Parse("x0 + 1");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  std::vector<Structure> all;
+  std::vector<std::vector<BigInt>> view_values;
+  std::vector<BigInt> q_values;
+  for (int h = 0; h <= 1; ++h) {
+    for (int c = 0; c <= 1; ++c) {
+      for (std::uint64_t a = 0; a <= 3; ++a) {
+        Structure d = red.MakeStructure(h == 1, c == 1, {a});
+        view_values.push_back(red.EvaluateViews(d));
+        q_values.push_back(red.query.Count(d));
+        all.push_back(std::move(d));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = 0; j < all.size(); ++j) {
+      if (i == j) continue;
+      if (view_values[i] == view_values[j]) {
+        EXPECT_EQ(q_values[i], q_values[j])
+            << "determinacy refuted for unsolvable instance";
+      }
+    }
+  }
+}
+
+TEST(ReductionTest, SolvableInstanceRefutedWithinSweep) {
+  // Dual sweep for the solvable x0^2 - 4: the refuting pair appears.
+  DiophantineInstance inst = DiophantineInstance::Parse("x0^2 - 4");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  bool refuted = false;
+  for (std::uint64_t a = 0; a <= 3 && !refuted; ++a) {
+    Structure d = red.MakeStructure(true, false, {a});
+    Structure d_prime = red.MakeStructure(false, true, {a});
+    if (red.EvaluateViews(d) == red.EvaluateViews(d_prime) &&
+        red.query.Count(d) != red.query.Count(d_prime)) {
+      refuted = true;
+      EXPECT_EQ(a, 2u);
+    }
+  }
+  EXPECT_TRUE(refuted);
+}
+
+TEST(ReductionTest, MultiUnknownEndToEnd) {
+  // x0 * x1 - 6: solutions (1,6),(2,3),(3,2),(6,1).
+  DiophantineInstance inst = DiophantineInstance::Parse("x0*x1 - 6");
+  Theorem2Reduction red = ReduceToDeterminacy(inst);
+  auto solution = inst.FindSolution(6);
+  ASSERT_TRUE(solution.has_value());
+  auto [d, d_prime] = red.WitnessPair(*solution);
+  EXPECT_EQ(red.EvaluateViews(d), red.EvaluateViews(d_prime));
+  EXPECT_NE(red.query.Count(d), red.query.Count(d_prime));
+}
+
+}  // namespace
+}  // namespace bagdet

@@ -1,0 +1,95 @@
+// Property tests for q-walks (Definitions 12–14) and Lemma 15: every walk
+// induced by a determined random instance is a valid q-walk and reduces to
+// q under both disciplines; synthetic random height-walks do too.
+
+#include <gtest/gtest.h>
+
+#include "path/path_query.h"
+#include "path/qwalk.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+class QWalkPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QWalkPropertyTest, InducedWalksAlwaysReduce) {
+  Rng rng(GetParam());
+  auto schema = std::make_shared<Schema>();
+  auto random_word = [&](std::size_t min_len, std::size_t max_len) {
+    std::string w;
+    std::size_t len = min_len + rng.Below(max_len - min_len + 1);
+    for (std::size_t i = 0; i < len; ++i) {
+      w.push_back(rng.Chance(1, 2) ? 'A' : 'B');
+    }
+    return PathQuery::FromWord(w, schema);
+  };
+  int determined_seen = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    PathQuery q = random_word(1, 8);
+    std::vector<PathQuery> views;
+    std::size_t num_views = 1 + rng.Below(4);
+    for (std::size_t i = 0; i < num_views; ++i) {
+      views.push_back(random_word(1, 4));
+    }
+    PathDeterminacyResult result =
+        DecidePathDeterminacy(q, views, /*want_counterexample=*/false);
+    if (!result.determined) continue;
+    ++determined_seen;
+    SignedWord walk = BuildQWalk(q, views, result.path);
+    ASSERT_TRUE(IsQWalk(walk, q))
+        << "invalid walk for q=" << q.ToString();
+    EXPECT_EQ(ReduceToFixpointPlusMinus(walk).back(), ToSignedWord(q));
+    EXPECT_EQ(ReduceToFixpointMinusPlus(walk).back(), ToSignedWord(q));
+    // The reduction trace shrinks by exactly 2 letters per step.
+    std::vector<SignedWord> trace = ReduceToFixpointPlusMinus(walk);
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      EXPECT_EQ(trace[i].size() + 2, trace[i - 1].size());
+    }
+  }
+  EXPECT_GT(determined_seen, 5) << "sweep produced too few positives";
+}
+
+TEST_P(QWalkPropertyTest, SyntheticHeightWalksReduce) {
+  // Build a random valid q-walk directly: a lattice walk from 0 to |q|
+  // staying within [0, |q|], each step labeled by the letter of q at the
+  // height it crosses (Definition 12(3)).
+  Rng rng(GetParam() * 97 + 13);
+  auto schema = std::make_shared<Schema>();
+  for (int iter = 0; iter < 40; ++iter) {
+    std::string word;
+    std::size_t len = 1 + rng.Below(6);
+    for (std::size_t i = 0; i < len; ++i) {
+      word.push_back(rng.Chance(1, 2) ? 'A' : 'B');
+    }
+    PathQuery q = PathQuery::FromWord(word, schema);
+    SignedWord walk;
+    std::int64_t height = 0;
+    const std::int64_t target = static_cast<std::int64_t>(q.Length());
+    std::size_t budget = 40;
+    while (height < target || walk.size() < 1) {
+      bool go_up = height == 0 ||
+                   (static_cast<std::int64_t>(budget) <= target - height) ||
+                   rng.Chance(2, 3);
+      if (budget > 0) --budget;
+      if (go_up && height < target) {
+        walk.push_back({q.word()[static_cast<std::size_t>(height)], +1});
+        ++height;
+      } else if (height > 0 && height < target) {
+        walk.push_back({q.word()[static_cast<std::size_t>(height - 1)], -1});
+        --height;
+      }
+      if (height == target) break;
+    }
+    ASSERT_TRUE(IsQWalk(walk, q)) << SignedWordToString(walk, *schema)
+                                  << " for q=" << q.ToString();
+    EXPECT_EQ(ReduceToFixpointPlusMinus(walk).back(), ToSignedWord(q));
+    EXPECT_EQ(ReduceToFixpointMinusPlus(walk).back(), ToSignedWord(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QWalkPropertyTest,
+                         ::testing::Values(201, 202, 203, 204));
+
+}  // namespace
+}  // namespace bagdet

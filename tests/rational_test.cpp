@@ -1,0 +1,129 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_TRUE(r.IsInteger());
+  EXPECT_EQ(r.ToString(), "0");
+}
+
+TEST(RationalTest, NormalizationLowestTerms) {
+  Rational r(BigInt(6), BigInt(8));
+  EXPECT_EQ(r.numerator(), BigInt(3));
+  EXPECT_EQ(r.denominator(), BigInt(4));
+}
+
+TEST(RationalTest, NormalizationSignInDenominator) {
+  Rational r(BigInt(3), BigInt(-6));
+  EXPECT_EQ(r.numerator(), BigInt(-1));
+  EXPECT_EQ(r.denominator(), BigInt(2));
+  EXPECT_TRUE(r.IsNegative());
+}
+
+TEST(RationalTest, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(BigInt(1), BigInt(0)), std::domain_error);
+}
+
+TEST(RationalTest, ZeroHasCanonicalForm) {
+  Rational r(BigInt(0), BigInt(-17));
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(r.denominator(), BigInt(1));
+  EXPECT_FALSE(r.IsNegative());
+}
+
+TEST(RationalTest, FromStringForms) {
+  EXPECT_EQ(Rational::FromString("5"), Rational(5));
+  EXPECT_EQ(Rational::FromString("-5"), Rational(-5));
+  EXPECT_EQ(Rational::FromString("10/4"), Rational(BigInt(5), BigInt(2)));
+  EXPECT_EQ(Rational::FromString("-3/9"), Rational(BigInt(-1), BigInt(3)));
+}
+
+TEST(RationalTest, ArithmeticBasics) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ(half + third, Rational(BigInt(5), BigInt(6)));
+  EXPECT_EQ(half - third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half * third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half / third, Rational(BigInt(3), BigInt(2)));
+}
+
+TEST(RationalTest, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+  EXPECT_THROW(Rational(0).Inverse(), std::domain_error);
+}
+
+TEST(RationalTest, InverseFlips) {
+  Rational r(BigInt(-3), BigInt(7));
+  EXPECT_EQ(r.Inverse(), Rational(BigInt(-7), BigInt(3)));
+  EXPECT_EQ(r * r.Inverse(), Rational(1));
+}
+
+TEST(RationalTest, PowIncludingNegativeExponents) {
+  Rational half(BigInt(1), BigInt(2));
+  EXPECT_EQ(Rational::Pow(half, 3), Rational(BigInt(1), BigInt(8)));
+  EXPECT_EQ(Rational::Pow(half, -3), Rational(8));
+  EXPECT_EQ(Rational::Pow(half, 0), Rational(1));
+  EXPECT_EQ(Rational::Pow(Rational(0), 0), Rational(1));  // 0^0 = 1.
+  EXPECT_THROW(Rational::Pow(Rational(0), -1), std::domain_error);
+  EXPECT_EQ(Rational::Pow(Rational(-2), 3), Rational(-8));
+}
+
+TEST(RationalTest, Ordering) {
+  Rational a(BigInt(1), BigInt(3));
+  Rational b(BigInt(1), BigInt(2));
+  Rational c(BigInt(-1), BigInt(2));
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, a);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, c);
+}
+
+TEST(RationalTest, ToStringIntegerVsFraction) {
+  EXPECT_EQ(Rational(BigInt(4), BigInt(2)).ToString(), "2");
+  EXPECT_EQ(Rational(BigInt(1), BigInt(2)).ToString(), "1/2");
+  EXPECT_EQ(Rational(BigInt(-1), BigInt(2)).ToString(), "-1/2");
+}
+
+class RationalFieldAxiomsTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Rational RandomRational(Rng* rng) {
+    std::int64_t num = rng->Range(-50, 50);
+    std::int64_t den = rng->Range(1, 20);
+    return Rational(BigInt(num), BigInt(den));
+  }
+};
+
+TEST_P(RationalFieldAxiomsTest, FieldAxiomsHold) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    Rational a = RandomRational(&rng);
+    Rational b = RandomRational(&rng);
+    Rational c = RandomRational(&rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + (-a), Rational(0));
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), Rational(1));
+    }
+    EXPECT_EQ(a - b, a + (-b));
+    if (!b.IsZero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalFieldAxiomsTest,
+                         ::testing::Values(11, 12, 13));
+
+}  // namespace
+}  // namespace bagdet

@@ -1,0 +1,199 @@
+// Failure-injection tests: the certificate *verifiers* must reject
+// tampered certificates — otherwise a green "verified" stamp means
+// nothing. Also covers defensive error paths across the public API.
+
+#include <gtest/gtest.h>
+
+#include "core/basis.h"
+#include "core/counterexample.h"
+#include "core/determinacy.h"
+#include "query/parser.h"
+#include "structs/generator.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+TEST(WitnessInjectionTest, TamperedExponentsFailOnSomeStructure) {
+  // Determined instance with witness alpha; perturbing alpha must be
+  // caught by CheckWitnessOnStructure on at least one probe structure.
+  auto schema = std::make_shared<Schema>();
+  RelationId e = schema->AddRelation("E", 2);
+  Structure loop(schema);
+  loop.AddFact(e, {0, 0});
+  Structure edge(schema);
+  edge.AddFact(e, {0, 1});
+  auto combine = [&](int a, int b) {
+    Structure s(schema);
+    for (int i = 0; i < a; ++i) s = DisjointUnion(s, loop);
+    for (int i = 0; i < b; ++i) s = DisjointUnion(s, edge);
+    return s;
+  };
+  ConjunctiveQuery q = BooleanQueryFromStructure("q", combine(1, 1));
+  std::vector<ConjunctiveQuery> views = {
+      BooleanQueryFromStructure("v1", combine(2, 1)),
+      BooleanQueryFromStructure("v2", combine(1, 2)),
+  };
+  DeterminacyResult result = DecideBagDeterminacy(views, q);
+  ASSERT_TRUE(result.determined);
+
+  DeterminacyWitness tampered = *result.witness;
+  tampered.exponents[0] += Rational(1);
+
+  bool caught = false;
+  Rng rng(5150);
+  for (int iter = 0; iter < 20 && !caught; ++iter) {
+    Structure d = RandomStructure(schema, 1 + rng.Below(3), &rng);
+    if (!CheckWitnessOnStructure(result.analysis, tampered, d)) caught = true;
+  }
+  EXPECT_TRUE(caught) << "tampered witness accepted on all probes";
+}
+
+class CounterexampleInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    QueryParser parser;
+    query_ = parser.ParseRule("q() :- E(x,x), E(a,b)");
+    views_ = {parser.ParseRule("v() :- E(x,x), E(y,y), E(a,b)")};
+    result_ = DecideBagDeterminacy(views_, query_);
+    ASSERT_FALSE(result_.determined);
+    ASSERT_TRUE(result_.counterexample.has_value());
+    ASSERT_EQ(VerifyCounterexample(result_.analysis, *result_.counterexample),
+              std::nullopt);
+  }
+
+  ConjunctiveQuery query_;
+  std::vector<ConjunctiveQuery> views_;
+  DeterminacyResult result_;
+};
+
+TEST_F(CounterexampleInjectionTest, PerturbedCoefficientIsRejected) {
+  BagCounterexample tampered = *result_.counterexample;
+  // Bump one coordinate of D: the view counts stop matching.
+  Vec coeffs = tampered.coeffs_d;
+  coeffs[0] += Rational(1);
+  std::vector<StructureExpr> terms;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    terms.push_back(StructureExpr::Scalar(coeffs[i].numerator(),
+                                          tampered.basis_structures[i]));
+  }
+  tampered.d = StructureExpr::Sum(terms, query_.schema_ptr());
+  std::optional<std::string> issue =
+      VerifyCounterexample(result_.analysis, tampered);
+  ASSERT_TRUE(issue.has_value());
+  EXPECT_NE(issue->find("view"), std::string::npos);
+}
+
+TEST_F(CounterexampleInjectionTest, IdenticalPairIsRejected) {
+  BagCounterexample tampered = *result_.counterexample;
+  tampered.d_prime = tampered.d;
+  std::optional<std::string> issue =
+      VerifyCounterexample(result_.analysis, tampered);
+  ASSERT_TRUE(issue.has_value());
+  EXPECT_NE(issue->find("query agrees"), std::string::npos);
+}
+
+TEST(SynthesisPreconditionTest, DeterminedInstanceThrows) {
+  QueryParser parser;
+  ConjunctiveQuery q = parser.ParseRule("q() :- E(x,y)");
+  ConjunctiveQuery v = parser.ParseRule("v() :- E(a,b)");
+  InstanceAnalysis analysis = AnalyzeInstance({v}, q);
+  GoodBasis basis = BuildGoodBasis(analysis, DistinguisherOptions());
+  EXPECT_THROW(SynthesizeCounterexample(analysis, basis), std::logic_error);
+}
+
+TEST(WitnessZeroViewCaseTest, VanishingViewForcesZeroQuery) {
+  // Lemma 31 (<=) Case 1: when a relevant view is 0 on D, q must be 0 —
+  // and CheckWitnessOnStructure must reject a structure where it is not
+  // (which cannot arise from a correct decision, so we fabricate one by
+  // pairing a witness from one instance with a foreign structure).
+  QueryParser parser;
+  ConjunctiveQuery q = parser.ParseRule("q() :- E(x,y)");
+  ConjunctiveQuery v = parser.ParseRule("v() :- E(a,b), E(b,c)");
+  // q is NOT contained in... hom(v, q): 2-path into 1-edge: impossible;
+  // so V is empty and this instance is undetermined. Build the witness by
+  // hand claiming q(D) = v(D): it must fail on a one-edge structure where
+  // v(D) = 0 but q(D) = 1.
+  InstanceAnalysis analysis = AnalyzeInstance({v}, q);
+  DeterminacyWitness fake;
+  fake.view_indices = {0};
+  fake.exponents = Vec{Rational(1)};
+  Structure d(parser.schema());
+  d.AddFact(*parser.schema()->Find("E"), {0, 1});
+  EXPECT_FALSE(CheckWitnessOnStructure(analysis, fake, d));
+}
+
+TEST(OptionsTest, DistinguisherBoundsArePlumbedThrough) {
+  QueryParser parser;
+  ConjunctiveQuery q = parser.ParseRule("q() :- E(x,x), E(a,b)");
+  ConjunctiveQuery v = parser.ParseRule("v() :- E(x,x), E(y,y), E(a,b)");
+  DeterminacyOptions options;
+  // A generous subset bound must succeed.
+  options.distinguisher.max_subset_domain = 16;
+  DeterminacyResult generous = DecideBagDeterminacy({v}, q, options);
+  EXPECT_FALSE(generous.determined);
+  ASSERT_TRUE(generous.counterexample.has_value());
+  EXPECT_EQ(VerifyCounterexample(generous.analysis, *generous.counterexample),
+            std::nullopt);
+  // Tight bounds still work for this instance because the cheap tier-0
+  // candidates (the structures themselves) already distinguish loop vs
+  // edge — the bounds only gate the exhaustive and random tiers.
+  options.distinguisher.max_subset_domain = 0;
+  options.distinguisher.random_attempts = 0;
+  EXPECT_FALSE(DecideBagDeterminacy({v}, q, options).determined);
+  // Isomorphic inputs yield "no distinguisher" irrespective of bounds.
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  Structure e1(schema);
+  e1.AddFact(0, {0, 1});
+  Structure e2(schema);
+  e2.AddFact(0, {1, 0});
+  DistinguisherOptions tight;
+  tight.max_subset_domain = 0;
+  tight.random_attempts = 0;
+  EXPECT_FALSE(FindDistinguisher(e1, e2, tight).has_value());
+}
+
+TEST(SummaryTest, MentionsCertificateDetails) {
+  QueryParser parser;
+  ConjunctiveQuery q = parser.ParseRule("q() :- E(x,x), E(a,b)");
+  ConjunctiveQuery v = parser.ParseRule("v() :- E(x,x), E(y,y), E(a,b)");
+  DeterminacyResult result = DecideBagDeterminacy({v}, q);
+  std::string summary = result.Summary();
+  EXPECT_NE(summary.find("k = |W| = 2"), std::string::npos);
+  EXPECT_NE(summary.find("perturbation t"), std::string::npos);
+  EXPECT_NE(summary.find("|dom(D)|"), std::string::npos);
+}
+
+TEST(RngTest, DeterministicAcrossRuns) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  // Documented first outputs (locks cross-platform determinism).
+  Rng c(1);
+  std::uint64_t first = c.Next();
+  Rng d(1);
+  EXPECT_EQ(first, d.Next());
+  EXPECT_NE(Rng(1).Next(), Rng(2).Next());
+}
+
+TEST(RngTest, RangeAndChanceStayInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.Chance(1, 4)) ++hits;
+  }
+  EXPECT_GT(hits, 150);
+  EXPECT_LT(hits, 350);
+}
+
+}  // namespace
+}  // namespace bagdet

@@ -1,0 +1,149 @@
+#include "structs/structure_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "hom/hom.h"
+#include "hom/symbolic.h"
+#include "structs/generator.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+std::shared_ptr<Schema> GraphSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  return schema;
+}
+
+Structure Edge(const std::shared_ptr<Schema>& schema) {
+  Structure s(schema);
+  s.AddFact(0, {0, 1});
+  return s;
+}
+
+TEST(StructureExprTest, BaseLeaf) {
+  auto schema = GraphSchema();
+  StructureExpr e = StructureExpr::Base(Edge(schema));
+  EXPECT_EQ(e.DomainSize(), BigInt(2));
+  EXPECT_EQ(e.NumFacts(), BigInt(1));
+  std::optional<Structure> m = e.Materialize();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, Edge(schema));
+}
+
+TEST(StructureExprTest, SumAndScalarSizes) {
+  auto schema = GraphSchema();
+  StructureExpr edge = StructureExpr::Base(Edge(schema));
+  StructureExpr five = StructureExpr::Scalar(BigInt(5), edge);
+  EXPECT_EQ(five.DomainSize(), BigInt(10));
+  EXPECT_EQ(five.NumFacts(), BigInt(5));
+  StructureExpr sum = StructureExpr::Sum({edge, five}, schema);
+  EXPECT_EQ(sum.DomainSize(), BigInt(12));
+  EXPECT_EQ(sum.NumFacts(), BigInt(6));
+}
+
+TEST(StructureExprTest, PowerAndProductSizes) {
+  auto schema = GraphSchema();
+  StructureExpr edge = StructureExpr::Base(Edge(schema));
+  StructureExpr cube = StructureExpr::Power(edge, 3);
+  EXPECT_EQ(cube.DomainSize(), BigInt(8));
+  EXPECT_EQ(cube.NumFacts(), BigInt(1));  // Facts multiply per relation.
+  StructureExpr empty_product = StructureExpr::Product({}, schema);
+  EXPECT_EQ(empty_product.DomainSize(), BigInt(1));  // All-loops singleton.
+  EXPECT_EQ(empty_product.NumFacts(), BigInt(1));
+}
+
+TEST(StructureExprTest, HugeTermsDontMaterialize) {
+  auto schema = GraphSchema();
+  StructureExpr edge = StructureExpr::Base(Edge(schema));
+  StructureExpr huge = StructureExpr::Power(edge, 200);
+  EXPECT_EQ(huge.DomainSize(), BigInt::Pow(BigInt(2), 200));
+  EXPECT_FALSE(huge.Materialize().has_value());
+  // Symbolic counting still works: hom(edge, edge^200) = 1^200 = 1.
+  EXPECT_EQ(CountHomsSymbolic(Edge(schema), huge), BigInt(1));
+}
+
+TEST(StructureExprTest, ScalarRejectsNegative) {
+  auto schema = GraphSchema();
+  EXPECT_THROW(
+      StructureExpr::Scalar(BigInt(-1), StructureExpr::Base(Edge(schema))),
+      std::invalid_argument);
+}
+
+TEST(StructureExprTest, SchemaMismatchThrows) {
+  auto schema_a = GraphSchema();
+  auto schema_b = std::make_shared<Schema>();
+  schema_b->AddRelation("F", 2);
+  EXPECT_THROW(StructureExpr::Sum({StructureExpr::Base(Edge(schema_a))},
+                                  schema_b),
+               std::invalid_argument);
+}
+
+TEST(SymbolicHomTest, RejectsDisconnectedSource) {
+  auto schema = GraphSchema();
+  Structure two_edges(schema);
+  two_edges.AddFact(0, {0, 1});
+  two_edges.AddFact(0, {2, 3});
+  StructureExpr target = StructureExpr::Base(Edge(schema));
+  EXPECT_THROW(CountHomsSymbolic(two_edges, target), std::invalid_argument);
+  // The Any variant decomposes into components first.
+  EXPECT_EQ(CountHomsSymbolicAny(two_edges, target), BigInt(1));
+}
+
+TEST(SymbolicHomTest, RejectsEmptyDomainSource) {
+  auto schema = std::make_shared<Schema>();
+  RelationId h = schema->AddRelation("H", 0);
+  Structure nullary(schema);
+  nullary.AddFact(h, {});
+  StructureExpr target = StructureExpr::Base(Structure(schema));
+  EXPECT_THROW(CountHomsSymbolic(nullary, target), std::invalid_argument);
+}
+
+// Property: symbolic evaluation agrees with materialize-then-count on
+// every expression shape, for random base structures.
+class SymbolicVsMaterializedTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymbolicVsMaterializedTest, AllShapesAgree) {
+  Rng rng(GetParam());
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("R", 2);
+  schema->AddRelation("P", 1);
+  for (int iter = 0; iter < 10; ++iter) {
+    Structure from = RandomConnectedStructure(schema, 1 + rng.Below(3), &rng);
+    Structure base_a = RandomStructure(schema, 1 + rng.Below(3), &rng);
+    Structure base_b = RandomStructure(schema, 1 + rng.Below(3), &rng);
+    StructureExpr ea = StructureExpr::Base(base_a);
+    StructureExpr eb = StructureExpr::Base(base_b);
+    std::vector<StructureExpr> shapes = {
+        StructureExpr::Sum({ea, eb}, schema),
+        StructureExpr::Product({ea, eb}, schema),
+        StructureExpr::Scalar(BigInt(3), ea),
+        StructureExpr::Power(ea, 2),
+        StructureExpr::Sum(
+            {StructureExpr::Scalar(BigInt(2), ea),
+             StructureExpr::Product({eb, StructureExpr::Power(ea, 1)}, schema)},
+            schema),
+        StructureExpr::Power(StructureExpr::Sum({ea, eb}, schema), 2),
+        StructureExpr::Product({}, schema),
+        StructureExpr::Sum({}, schema),
+    };
+    for (const StructureExpr& expr : shapes) {
+      std::optional<Structure> materialized = expr.Materialize(100000);
+      ASSERT_TRUE(materialized.has_value()) << expr.ToString();
+      EXPECT_EQ(CountHomsSymbolic(from, expr), CountHoms(from, *materialized))
+          << "from=" << from.ToString() << " expr=" << expr.ToString();
+      EXPECT_EQ(materialized->DomainSize(),
+                static_cast<std::size_t>(expr.DomainSize().ToInt64()));
+      EXPECT_EQ(materialized->NumFacts(),
+                static_cast<std::size_t>(expr.NumFacts().ToInt64()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymbolicVsMaterializedTest,
+                         ::testing::Values(301, 302, 303, 304, 305));
+
+}  // namespace
+}  // namespace bagdet

@@ -1,0 +1,321 @@
+#include "structs/structure.h"
+
+#include <gtest/gtest.h>
+
+#include "structs/generator.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+std::shared_ptr<Schema> GraphSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  return schema;
+}
+
+std::shared_ptr<Schema> TwoColorSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("R", 2);
+  schema->AddRelation("G", 2);
+  return schema;
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  RelationId e = schema.AddRelation("E", 2);
+  RelationId p = schema.AddRelation("P", 1);
+  EXPECT_EQ(schema.NumRelations(), 2u);
+  EXPECT_EQ(schema.Name(e), "E");
+  EXPECT_EQ(schema.Arity(p), 1u);
+  EXPECT_EQ(schema.Find("E"), std::optional<RelationId>(e));
+  EXPECT_FALSE(schema.Find("Z").has_value());
+  EXPECT_EQ(schema.MaxArity(), 2u);
+  EXPECT_FALSE(schema.AllArity(2));
+}
+
+TEST(SchemaTest, RedeclareSameArityIsIdempotent) {
+  Schema schema;
+  RelationId e1 = schema.AddRelation("E", 2);
+  RelationId e2 = schema.AddRelation("E", 2);
+  EXPECT_EQ(e1, e2);
+  EXPECT_THROW(schema.AddRelation("E", 3), std::invalid_argument);
+}
+
+TEST(StructureTest, AddFactDeduplicatesAndSorts) {
+  auto schema = GraphSchema();
+  Structure s(schema);
+  s.AddFact(0, {1, 0});
+  s.AddFact(0, {0, 1});
+  s.AddFact(0, {1, 0});  // Duplicate.
+  EXPECT_EQ(s.NumFacts(), 2u);
+  EXPECT_EQ(s.Facts(0)[0], (Tuple{0, 1}));
+  EXPECT_EQ(s.Facts(0)[1], (Tuple{1, 0}));
+  EXPECT_EQ(s.DomainSize(), 2u);
+  EXPECT_TRUE(s.HasFact(0, {0, 1}));
+  EXPECT_FALSE(s.HasFact(0, {0, 0}));
+}
+
+TEST(StructureTest, ArityMismatchThrows) {
+  auto schema = GraphSchema();
+  Structure s(schema);
+  EXPECT_THROW(s.AddFact(0, {0}), std::invalid_argument);
+  EXPECT_THROW(s.AddFact(7, {0, 1}), std::invalid_argument);
+}
+
+TEST(StructureTest, IsConnectedCases) {
+  auto schema = GraphSchema();
+  Structure path(schema);
+  path.AddFact(0, {0, 1});
+  path.AddFact(0, {1, 2});
+  EXPECT_TRUE(path.IsConnected());
+
+  Structure two_edges(schema);
+  two_edges.AddFact(0, {0, 1});
+  two_edges.AddFact(0, {2, 3});
+  EXPECT_FALSE(two_edges.IsConnected());
+
+  Structure empty(schema);
+  EXPECT_FALSE(empty.IsConnected());
+
+  Structure lone(schema, 1);
+  EXPECT_TRUE(lone.IsConnected());
+
+  Structure with_isolated(schema, 3);
+  with_isolated.AddFact(0, {0, 1});
+  EXPECT_FALSE(with_isolated.IsConnected());
+}
+
+TEST(StructureTest, NullaryFactConnectivity) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("H", 0);
+  Structure h(schema);
+  h.AddFact(0, {});
+  EXPECT_TRUE(h.IsConnected());  // A single nullary fact.
+  EXPECT_EQ(h.DomainSize(), 0u);
+  EXPECT_EQ(h.NumFacts(), 1u);
+}
+
+TEST(StructureTest, DisjointUnionOffsetsElements) {
+  auto schema = GraphSchema();
+  Structure a(schema);
+  a.AddFact(0, {0, 1});
+  Structure b(schema);
+  b.AddFact(0, {0, 0});
+  Structure u = DisjointUnion(a, b);
+  EXPECT_EQ(u.DomainSize(), 3u);
+  EXPECT_TRUE(u.HasFact(0, {0, 1}));
+  EXPECT_TRUE(u.HasFact(0, {2, 2}));
+  EXPECT_EQ(u.NumFacts(), 2u);
+}
+
+TEST(StructureTest, ProductMatchesDefinition) {
+  auto schema = GraphSchema();
+  Structure a(schema);
+  a.AddFact(0, {0, 1});  // One edge.
+  Structure b(schema);
+  b.AddFact(0, {0, 1});
+  b.AddFact(0, {1, 0});  // A 2-cycle.
+  Structure p = Product(a, b);
+  EXPECT_EQ(p.DomainSize(), 4u);
+  EXPECT_EQ(p.NumFacts(), 2u);
+  // <0,0> -> <1,1> encoded as 0*2+0=0 -> 1*2+1=3.
+  EXPECT_TRUE(p.HasFact(0, {0, 3}));
+  EXPECT_TRUE(p.HasFact(0, {1, 2}));
+}
+
+TEST(StructureTest, ScalarMultipleAndEmpty) {
+  auto schema = GraphSchema();
+  Structure a(schema);
+  a.AddFact(0, {0, 1});
+  Structure three = ScalarMultiple(3, a);
+  EXPECT_EQ(three.DomainSize(), 6u);
+  EXPECT_EQ(three.NumFacts(), 3u);
+  Structure zero = ScalarMultiple(0, a);
+  EXPECT_TRUE(zero.IsEmpty());
+}
+
+TEST(StructureTest, IteratedProductPowerZeroIsAllLoops) {
+  auto schema = TwoColorSchema();
+  Structure a(schema);
+  a.AddFact(0, {0, 1});
+  Structure p0 = IteratedProduct(a, 0);
+  EXPECT_EQ(p0.DomainSize(), 1u);
+  EXPECT_TRUE(p0.HasFact(0, {0, 0}));
+  EXPECT_TRUE(p0.HasFact(1, {0, 0}));  // Loops of ALL relation types.
+  Structure p1 = IteratedProduct(a, 1);
+  EXPECT_EQ(p1.DomainSize(), 1u * a.DomainSize());
+  EXPECT_EQ(p1.NumFacts(), 1u);
+  Structure p2 = IteratedProduct(a, 2);
+  EXPECT_EQ(p2.DomainSize(), 4u);
+}
+
+TEST(StructureTest, MapDomainQuotient) {
+  auto schema = GraphSchema();
+  Structure a(schema);
+  a.AddFact(0, {0, 1});
+  a.AddFact(0, {1, 2});
+  // Merge 0 and 2.
+  Structure q = a.MapDomain({0, 1, 0}, 2);
+  EXPECT_EQ(q.DomainSize(), 2u);
+  EXPECT_TRUE(q.HasFact(0, {0, 1}));
+  EXPECT_TRUE(q.HasFact(0, {1, 0}));
+}
+
+TEST(ConnectedComponentsTest, SplitsAndRenames) {
+  auto schema = GraphSchema();
+  Structure s(schema, 5);
+  s.AddFact(0, {0, 1});
+  s.AddFact(0, {1, 2});
+  s.AddFact(0, {3, 3});
+  // Element 4 is isolated.
+  std::vector<Structure> components = ConnectedComponents(s);
+  ASSERT_EQ(components.size(), 3u);
+  std::size_t sizes[3] = {components[0].DomainSize(),
+                          components[1].DomainSize(),
+                          components[2].DomainSize()};
+  std::size_t total = sizes[0] + sizes[1] + sizes[2];
+  EXPECT_EQ(total, 5u);
+  std::size_t facts = 0;
+  for (const auto& c : components) facts += c.NumFacts();
+  EXPECT_EQ(facts, 3u);
+}
+
+TEST(ConnectedComponentsTest, NullaryFactsAreOwnComponents) {
+  auto schema = std::make_shared<Schema>();
+  RelationId h = schema->AddRelation("H", 0);
+  RelationId e = schema->AddRelation("E", 2);
+  Structure s(schema);
+  s.AddFact(h, {});
+  s.AddFact(e, {0, 1});
+  std::vector<Structure> components = ConnectedComponents(s);
+  ASSERT_EQ(components.size(), 2u);
+  int nullary = 0;
+  for (const auto& c : components) {
+    if (c.DomainSize() == 0) ++nullary;
+  }
+  EXPECT_EQ(nullary, 1);
+}
+
+TEST(ConnectedComponentsTest, EmptyStructureHasNone) {
+  EXPECT_TRUE(ConnectedComponents(Structure(GraphSchema())).empty());
+}
+
+TEST(IsomorphismTest, DetectsRenamedCopies) {
+  auto schema = GraphSchema();
+  Structure a(schema);
+  a.AddFact(0, {0, 1});
+  a.AddFact(0, {1, 2});
+  Structure b(schema);
+  b.AddFact(0, {2, 0});
+  b.AddFact(0, {0, 1});
+  EXPECT_TRUE(IsIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, DistinguishesOrientation) {
+  auto schema = GraphSchema();
+  // Out-star vs in-star on 3 elements.
+  Structure out(schema);
+  out.AddFact(0, {0, 1});
+  out.AddFact(0, {0, 2});
+  Structure in(schema);
+  in.AddFact(0, {1, 0});
+  in.AddFact(0, {2, 0});
+  EXPECT_FALSE(IsIsomorphic(out, in));
+}
+
+TEST(IsomorphismTest, Figure1StructuresAreNonIsomorphic) {
+  // The paper's Figure 1: w2 = w1 plus green edges; same red skeleton.
+  auto schema = TwoColorSchema();
+  Structure w1(schema);
+  w1.AddFact(0, {0, 1});
+  Structure w2(schema);
+  w2.AddFact(0, {0, 1});
+  w2.AddFact(1, {0, 1});
+  EXPECT_FALSE(IsIsomorphic(w1, w2));
+  EXPECT_TRUE(IsIsomorphic(w1, w1));
+}
+
+TEST(IsomorphismTest, RegularNonIsomorphicPair) {
+  // 6-cycle vs two 3-cycles: same degree sequence, non-isomorphic.
+  auto schema = GraphSchema();
+  Structure c6(schema);
+  for (Element i = 0; i < 6; ++i) c6.AddFact(0, {i, static_cast<Element>((i + 1) % 6)});
+  Structure c3c3(schema);
+  for (Element i = 0; i < 3; ++i) c3c3.AddFact(0, {i, static_cast<Element>((i + 1) % 3)});
+  for (Element i = 3; i < 6; ++i) {
+    c3c3.AddFact(0, {i, static_cast<Element>(3 + (i - 3 + 1) % 3)});
+  }
+  EXPECT_FALSE(IsIsomorphic(c6, c3c3));
+}
+
+TEST(IsomorphismTest, RandomRelabelingsAlwaysIsomorphic) {
+  auto schema = TwoColorSchema();
+  Rng rng(99);
+  for (int iter = 0; iter < 25; ++iter) {
+    std::size_t n = 1 + rng.Below(6);
+    Structure a = RandomStructure(schema, n, &rng);
+    // Random permutation.
+    std::vector<Element> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<Element>(i);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.Below(i)]);
+    }
+    Structure b = a.MapDomain(perm, n);
+    EXPECT_TRUE(IsIsomorphic(a, b));
+  }
+}
+
+TEST(GeneratorTest, EnumerateStructuresCountsAllSubsets) {
+  auto schema = GraphSchema();
+  int count = 0;
+  EnumerateStructures(schema, 1, [&](const Structure&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 2);  // Loop present or absent.
+  count = 0;
+  EnumerateStructures(schema, 2, [&](const Structure&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 16);  // 2^(2*2).
+}
+
+TEST(GeneratorTest, EnumerateStopsEarly) {
+  auto schema = GraphSchema();
+  int count = 0;
+  bool completed = EnumerateStructures(schema, 1, [&](const Structure&) {
+    ++count;
+    return false;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(GeneratorTest, EnumerateRefusesHugeSpaces) {
+  auto schema = GraphSchema();
+  EXPECT_THROW(
+      EnumerateStructures(schema, 6, [](const Structure&) { return true; }),
+      std::invalid_argument);
+}
+
+TEST(GeneratorTest, RandomConnectedIsConnected) {
+  auto schema = GraphSchema();
+  Rng rng(5);
+  for (int iter = 0; iter < 20; ++iter) {
+    Structure s = RandomConnectedStructure(schema, 1 + rng.Below(5), &rng);
+    EXPECT_TRUE(s.IsConnected());
+  }
+}
+
+TEST(GeneratorTest, CountPotentialFacts) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("H", 0);
+  schema->AddRelation("P", 1);
+  schema->AddRelation("E", 2);
+  EXPECT_EQ(CountPotentialFacts(*schema, 3), 1u + 3u + 9u);
+}
+
+}  // namespace
+}  // namespace bagdet
