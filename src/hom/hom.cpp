@@ -1,8 +1,10 @@
 #include "hom/hom.h"
 
 #include <algorithm>
-#include <map>
+#include <cstddef>
 #include <optional>
+
+#include "structs/index.h"
 
 namespace bagdet {
 
@@ -19,9 +21,11 @@ struct Task {
   Element element = 0; // Isolated element (!is_atom).
 };
 
-/// Orders the atoms of a structure so that each atom (after the first of
-/// its component) shares an element with an earlier one, which keeps the
-/// join branching factor low. Isolated elements come last.
+/// Orders the atoms of a structure by a min-new-live-vars greedy rule: each
+/// round picks the atom introducing the fewest not-yet-seen elements
+/// (tie-break: most already-seen positions). This keeps the working set of
+/// bound variables — the DP table width and the backtracker's branching —
+/// as small as the greedy horizon allows. Isolated elements come last.
 std::vector<Task> PlanTasks(const Structure& from) {
   std::vector<Task> atoms;
   for (RelationId r = 0; r < from.schema().NumRelations(); ++r) {
@@ -34,18 +38,30 @@ std::vector<Task> PlanTasks(const Structure& from) {
   }
   std::vector<bool> seen_element(from.DomainSize(), false);
   std::vector<bool> done(atoms.size(), false);
+  std::vector<Element> distinct_new;
   std::vector<Task> plan;
   plan.reserve(atoms.size());
   for (std::size_t round = 0; round < atoms.size(); ++round) {
-    // Pick the not-yet-planned atom with the most already-seen elements.
     std::size_t best = atoms.size();
-    int best_score = -1;
+    std::size_t best_new = static_cast<std::size_t>(-1);
+    int best_seen = -1;
     for (std::size_t i = 0; i < atoms.size(); ++i) {
       if (done[i]) continue;
-      int score = 0;
-      for (Element e : atoms[i].atom) score += seen_element[e] ? 1 : 0;
-      if (score > best_score) {
-        best_score = score;
+      distinct_new.clear();
+      int seen = 0;
+      for (Element e : atoms[i].atom) {
+        if (seen_element[e]) {
+          ++seen;
+        } else if (std::find(distinct_new.begin(), distinct_new.end(), e) ==
+                   distinct_new.end()) {
+          distinct_new.push_back(e);
+        }
+      }
+      const std::size_t new_vars = distinct_new.size();
+      if (new_vars < best_new ||
+          (new_vars == best_new && seen > best_seen)) {
+        best_new = new_vars;
+        best_seen = seen;
         best = i;
       }
     }
@@ -66,20 +82,50 @@ std::vector<Task> PlanTasks(const Structure& from) {
 
 /// Shared backtracking engine. `visit` is called at every complete
 /// assignment; returning false aborts the search. `used` is non-null for
-/// injective matching.
+/// injective matching. Candidate facts are narrowed through the target's
+/// positional index: of all atom positions already bound, the one with the
+/// smallest bucket drives the scan.
 class Matcher {
  public:
   Matcher(const Structure& from, const Structure& to,
           const std::function<bool(const std::vector<Element>&)>& visit,
           std::vector<bool>* used)
-      : to_(to), visit_(visit), used_(used),
+      : to_(to), index_(to.Index()), visit_(visit), used_(used),
         assignment_(from.DomainSize(), kUnassigned),
-        plan_(PlanTasks(from)) {}
+        plan_(PlanTasks(from)), bound_stack_(plan_.size()) {}
 
   /// Returns false iff the visitor aborted.
   bool Run() { return RunFrom(0); }
 
  private:
+  bool TryFact(std::size_t task_index, const Tuple& fact) {
+    const Task& task = plan_[task_index];
+    std::vector<Element>& bound = bound_stack_[task_index];
+    bound.clear();
+    bool ok = true;
+    for (std::size_t pos = 0; pos < fact.size() && ok; ++pos) {
+      Element var = task.atom[pos];
+      if (assignment_[var] == kUnassigned) {
+        if (used_ != nullptr && (*used_)[fact[pos]]) {
+          ok = false;
+          break;
+        }
+        assignment_[var] = fact[pos];
+        if (used_ != nullptr) (*used_)[fact[pos]] = true;
+        bound.push_back(var);
+      } else if (assignment_[var] != fact[pos]) {
+        ok = false;
+      }
+    }
+    bool keep_going = true;
+    if (ok) keep_going = RunFrom(task_index + 1);
+    for (auto rit = bound.rbegin(); rit != bound.rend(); ++rit) {
+      if (used_ != nullptr) (*used_)[assignment_[*rit]] = false;
+      assignment_[*rit] = kUnassigned;
+    }
+    return keep_going;
+  }
+
   bool RunFrom(std::size_t task_index) {
     if (task_index == plan_.size()) return visit_(assignment_);
     const Task& task = plan_[task_index];
@@ -101,52 +147,117 @@ class Matcher {
       if (facts.empty()) return true;
       return RunFrom(task_index + 1);
     }
-    auto begin = facts.begin();
-    auto end = facts.end();
-    // Facts are sorted lexicographically: narrow by the first position when
-    // it is already bound.
-    Element first = assignment_[task.atom[0]];
-    if (first != kUnassigned) {
-      Tuple lo{first};
-      Tuple hi{first + 1};
-      begin = std::lower_bound(facts.begin(), facts.end(), lo);
-      end = std::lower_bound(facts.begin(), facts.end(), hi);
+    // Pick the most selective bucket among the bound positions.
+    std::size_t best_pos = fact_arity_sentinel();
+    std::size_t best_size = facts.size();
+    for (std::size_t pos = 0; pos < task.atom.size(); ++pos) {
+      Element image = assignment_[task.atom[pos]];
+      if (image == kUnassigned) continue;
+      std::size_t size = index_.BucketSize(task.relation, pos, image);
+      if (size < best_size || best_pos == fact_arity_sentinel()) {
+        best_size = size;
+        best_pos = pos;
+        if (size == 0) break;
+      }
     }
-    for (auto it = begin; it != end; ++it) {
-      const Tuple& fact = *it;
-      // Try to unify the atom with this fact.
-      std::vector<Element> bound;
-      bool ok = true;
-      for (std::size_t pos = 0; pos < fact.size() && ok; ++pos) {
-        Element var = task.atom[pos];
-        if (assignment_[var] == kUnassigned) {
-          if (used_ != nullptr && (*used_)[fact[pos]]) {
-            ok = false;
-            break;
-          }
-          assignment_[var] = fact[pos];
-          if (used_ != nullptr) (*used_)[fact[pos]] = true;
-          bound.push_back(var);
-        } else if (assignment_[var] != fact[pos]) {
-          ok = false;
-        }
+    if (best_pos != fact_arity_sentinel()) {
+      Element image = assignment_[task.atom[best_pos]];
+      for (std::uint32_t id : index_.Bucket(task.relation, best_pos, image)) {
+        if (!TryFact(task_index, facts[id])) return false;
       }
-      bool keep_going = true;
-      if (ok) keep_going = RunFrom(task_index + 1);
-      for (auto rit = bound.rbegin(); rit != bound.rend(); ++rit) {
-        if (used_ != nullptr) (*used_)[assignment_[*rit]] = false;
-        assignment_[*rit] = kUnassigned;
-      }
-      if (!keep_going) return false;
+      return true;
+    }
+    for (const Tuple& fact : facts) {
+      if (!TryFact(task_index, fact)) return false;
     }
     return true;
   }
 
+  static constexpr std::size_t fact_arity_sentinel() {
+    return static_cast<std::size_t>(-1);
+  }
+
   const Structure& to_;
+  const StructureIndex& index_;
   const std::function<bool(const std::vector<Element>&)>& visit_;
   std::vector<bool>* used_;
   std::vector<Element> assignment_;
   std::vector<Task> plan_;
+  // Per-depth scratch of vars bound at that frame (avoids a heap
+  // allocation per visited fact).
+  std::vector<std::vector<Element>> bound_stack_;
+};
+
+/// Open-addressing hash table from packed keys — `width` Elements stored
+/// back to back in one arena — to BigInt counts. This is the DP table of
+/// the variable-elimination counter: no per-entry node allocations, no
+/// tree comparisons, keys contiguous in memory.
+class FlatTable {
+ public:
+  explicit FlatTable(std::size_t width) : width_(width) {
+    slots_.assign(16, 0);
+  }
+
+  std::size_t size() const { return counts_.size(); }
+  bool empty() const { return counts_.empty(); }
+  std::size_t width() const { return width_; }
+
+  const Element* Key(std::size_t entry) const {
+    return arena_.data() + entry * width_;
+  }
+  const BigInt& Count(std::size_t entry) const { return counts_[entry]; }
+
+  /// table[key] += delta, inserting the key when absent.
+  void Add(const Element* key, const BigInt& delta) {
+    if ((counts_.size() + 1) * 4 >= slots_.size() * 3) Grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = HashKey(key) & mask;
+    while (slots_[slot] != 0) {
+      const std::size_t entry = slots_[slot] - 1;
+      if (KeyEquals(entry, key)) {
+        counts_[entry] += delta;
+        return;
+      }
+      slot = (slot + 1) & mask;
+    }
+    slots_[slot] = static_cast<std::uint32_t>(counts_.size() + 1);
+    arena_.insert(arena_.end(), key, key + width_);
+    counts_.push_back(delta);
+  }
+
+ private:
+  std::uint64_t HashKey(const Element* key) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < width_; ++i) {
+      h ^= key[i];
+      h *= 0xbf58476d1ce4e5b9ull;
+    }
+    return h ^ (h >> 29);
+  }
+
+  bool KeyEquals(std::size_t entry, const Element* key) const {
+    const Element* stored = arena_.data() + entry * width_;
+    for (std::size_t i = 0; i < width_; ++i) {
+      if (stored[i] != key[i]) return false;
+    }
+    return true;
+  }
+
+  void Grow() {
+    std::vector<std::uint32_t> fresh(slots_.size() * 2, 0);
+    const std::size_t mask = fresh.size() - 1;
+    for (std::size_t entry = 0; entry < counts_.size(); ++entry) {
+      std::size_t slot = HashKey(Key(entry)) & mask;
+      while (fresh[slot] != 0) slot = (slot + 1) & mask;
+      fresh[slot] = static_cast<std::uint32_t>(entry + 1);
+    }
+    slots_ = std::move(fresh);
+  }
+
+  std::size_t width_;
+  std::vector<Element> arena_;   // size() * width_ elements
+  std::vector<BigInt> counts_;   // parallel to packed keys
+  std::vector<std::uint32_t> slots_;  // entry index + 1; 0 = empty
 };
 
 /// Counts homomorphisms of a single *connected* component by variable
@@ -154,7 +265,9 @@ class Matcher {
 /// every variable after its last use. Unlike enumeration this runs in time
 /// polynomial in the table sizes, not in the (possibly astronomical)
 /// number of homomorphisms — e.g. hom(path, clique) stays linear while the
-/// count itself is exponential.
+/// count itself is exponential. Per plan step, all variable→slot mappings
+/// are resolved once up front, and candidate facts come from the most
+/// selective bucket of the target's positional index.
 BigInt CountComponent(const Structure& component, const Structure& to) {
   if (component.DomainSize() == 0) {
     // A lone nullary fact: one hom when present, none otherwise.
@@ -167,8 +280,9 @@ BigInt CountComponent(const Structure& component, const Structure& to) {
     // Isolated element: any image works.
     return BigInt(static_cast<std::int64_t>(to.DomainSize()));
   }
+  const StructureIndex& to_index = to.Index();
   std::vector<Task> plan = PlanTasks(component);
-  // Last task index using each element of the component.
+  // Last atom-task index using each element of the component.
   std::vector<std::size_t> last_use(component.DomainSize(), 0);
   for (std::size_t i = 0; i < plan.size(); ++i) {
     for (Element e : plan[i].atom) last_use[e] = i;
@@ -176,12 +290,25 @@ BigInt CountComponent(const Structure& component, const Structure& to) {
   // The table maps assignments of the live variables (kept sorted by
   // variable id in `live`) to the number of extensions producing them.
   std::vector<Element> live;
-  std::map<std::vector<Element>, BigInt> table;
-  table.emplace(std::vector<Element>{}, BigInt(1));
+  FlatTable table(0);
+  table.Add(nullptr, BigInt(1));
+  // Connected components with facts have no isolated elements, but stay
+  // correct if one ever appears in a plan: each contributes a free factor
+  // of |dom(to)|.
+  BigInt isolated_factor(1);
   for (std::size_t i = 0; i < plan.size(); ++i) {
     const Task& task = plan[i];
+    if (!task.is_atom) {
+      isolated_factor *= BigInt(static_cast<std::int64_t>(to.DomainSize()));
+      continue;
+    }
     const std::vector<Tuple>& facts = to.Facts(task.relation);
-    // New live set: current ∪ atom vars, minus vars last used here.
+    if (task.atom.empty()) {
+      // Nullary atom: a presence test, no bindings.
+      if (facts.empty()) return BigInt(0);
+      continue;
+    }
+    // New live set: current ∪ atom vars; `kept` drops vars last used here.
     std::vector<Element> next_live = live;
     for (Element var : task.atom) {
       if (std::find(next_live.begin(), next_live.end(), var) ==
@@ -190,40 +317,92 @@ BigInt CountComponent(const Structure& component, const Structure& to) {
       }
     }
     std::sort(next_live.begin(), next_live.end());
-    next_live.erase(std::unique(next_live.begin(), next_live.end()),
-                    next_live.end());
     std::vector<Element> kept;
     for (Element var : next_live) {
       if (last_use[var] > i) kept.push_back(var);
     }
-    // Positions of atom vars and kept vars within the joined assignment.
-    auto index_of = [](const std::vector<Element>& vars, Element var) {
+    // Resolve every variable→slot lookup once for the whole step.
+    auto slot_in = [](const std::vector<Element>& vars, Element var) {
       return static_cast<std::size_t>(
           std::find(vars.begin(), vars.end(), var) - vars.begin());
     };
-    std::map<std::vector<Element>, BigInt> next_table;
-    for (const auto& [assignment, count] : table) {
-      for (const Tuple& fact : facts) {
-        // Unify the atom against this fact under the current assignment.
-        std::vector<Element> joined(next_live.size(), kUnassigned);
-        for (std::size_t v = 0; v < live.size(); ++v) {
-          joined[index_of(next_live, live[v])] = assignment[v];
+    std::vector<std::size_t> live_slot(live.size());
+    for (std::size_t v = 0; v < live.size(); ++v) {
+      live_slot[v] = slot_in(next_live, live[v]);
+    }
+    std::vector<std::size_t> atom_slot(task.atom.size());
+    // key_slot[pos]: index into the current table key whose value binds
+    // atom position `pos`, or npos when the position is free.
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> key_slot(task.atom.size(), npos);
+    for (std::size_t pos = 0; pos < task.atom.size(); ++pos) {
+      atom_slot[pos] = slot_in(next_live, task.atom[pos]);
+      std::size_t in_live = slot_in(live, task.atom[pos]);
+      if (in_live < live.size()) key_slot[pos] = in_live;
+    }
+    std::vector<std::size_t> kept_slot(kept.size());
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      kept_slot[k] = slot_in(next_live, kept[k]);
+    }
+    // Slots of next_live not carried over from live: these must read as
+    // unassigned at the start of every fact probe.
+    std::vector<std::size_t> fresh_slots;
+    for (std::size_t s = 0; s < next_live.size(); ++s) {
+      bool carried = false;
+      for (std::size_t v = 0; v < live.size() && !carried; ++v) {
+        carried = live_slot[v] == s;
+      }
+      if (!carried) fresh_slots.push_back(s);
+    }
+    FlatTable next_table(kept.size());
+    std::vector<Element> joined(next_live.size(), kUnassigned);
+    std::vector<Element> projected(kept.size());
+    for (std::size_t entry = 0; entry < table.size(); ++entry) {
+      const Element* key = table.Key(entry);
+      const BigInt& count = table.Count(entry);
+      // Fill the carried-over slots once per entry; fact probes only touch
+      // fresh slots.
+      for (std::size_t v = 0; v < live.size(); ++v) {
+        joined[live_slot[v]] = key[v];
+      }
+      // Most selective bucket among the bound positions.
+      std::size_t best_pos = npos;
+      std::size_t best_size = facts.size();
+      for (std::size_t pos = 0; pos < task.atom.size(); ++pos) {
+        if (key_slot[pos] == npos) continue;
+        std::size_t size =
+            to_index.BucketSize(task.relation, pos, key[key_slot[pos]]);
+        if (size < best_size || best_pos == npos) {
+          best_size = size;
+          best_pos = pos;
+          if (size == 0) break;
         }
+      }
+      FactIdSpan bucket;
+      if (best_pos != npos) {
+        bucket = to_index.Bucket(task.relation, best_pos,
+                                 key[key_slot[best_pos]]);
+      }
+      const std::size_t num_candidates =
+          best_pos != npos ? bucket.size() : facts.size();
+      for (std::size_t c = 0; c < num_candidates; ++c) {
+        const Tuple& fact =
+            best_pos != npos ? facts[bucket.first[c]] : facts[c];
+        for (std::size_t s : fresh_slots) joined[s] = kUnassigned;
         bool ok = true;
         for (std::size_t pos = 0; pos < fact.size() && ok; ++pos) {
-          std::size_t slot = index_of(next_live, task.atom[pos]);
-          if (joined[slot] == kUnassigned) {
-            joined[slot] = fact[pos];
-          } else if (joined[slot] != fact[pos]) {
+          Element& slot_value = joined[atom_slot[pos]];
+          if (slot_value == kUnassigned) {
+            slot_value = fact[pos];
+          } else if (slot_value != fact[pos]) {
             ok = false;
           }
         }
         if (!ok) continue;
-        std::vector<Element> projected(kept.size());
-        for (std::size_t v = 0; v < kept.size(); ++v) {
-          projected[v] = joined[index_of(next_live, kept[v])];
+        for (std::size_t k = 0; k < kept.size(); ++k) {
+          projected[k] = joined[kept_slot[k]];
         }
-        next_table[std::move(projected)] += count;
+        next_table.Add(projected.data(), count);
       }
     }
     live = std::move(kept);
@@ -231,7 +410,10 @@ BigInt CountComponent(const Structure& component, const Structure& to) {
     if (table.empty()) return BigInt(0);
   }
   BigInt total(0);
-  for (const auto& [assignment, count] : table) total += count;
+  for (std::size_t entry = 0; entry < table.size(); ++entry) {
+    total += table.Count(entry);
+  }
+  total *= isolated_factor;
   return total;
 }
 

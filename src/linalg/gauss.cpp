@@ -4,18 +4,34 @@
 
 namespace bagdet {
 
+namespace {
+
+/// Size proxy for pivot selection: total bit length of the entry. Dividing
+/// the pivot row by a short rational keeps the coefficients that the
+/// eliminations below spread across the matrix small.
+std::size_t RationalBitLength(const Rational& value) {
+  return value.numerator().BitLength() + value.denominator().BitLength();
+}
+
+}  // namespace
+
 Rref ReduceToRref(Mat m) {
   Rref result;
   const std::size_t rows = m.rows();
   const std::size_t cols = m.cols();
   std::size_t pivot_row = 0;
   for (std::size_t col = 0; col < cols && pivot_row < rows; ++col) {
-    // Find a nonzero pivot in this column at or below pivot_row.
+    // Pick the nonzero entry with the shortest numerator/denominator at or
+    // below pivot_row, which curbs rational coefficient blowup compared to
+    // taking the first nonzero entry.
     std::size_t found = rows;
+    std::size_t found_bits = 0;
     for (std::size_t r = pivot_row; r < rows; ++r) {
-      if (!m.At(r, col).IsZero()) {
+      if (m.At(r, col).IsZero()) continue;
+      std::size_t bits = RationalBitLength(m.At(r, col));
+      if (found == rows || bits < found_bits) {
         found = r;
-        break;
+        found_bits = bits;
       }
     }
     if (found == rows) continue;

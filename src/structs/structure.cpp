@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "structs/index.h"
 #include "structs/refinement.h"
 
 namespace bagdet {
@@ -32,7 +33,15 @@ void Structure::AddFact(RelationId relation, Tuple elements) {
   }
   auto& rows = facts_[relation];
   auto it = std::lower_bound(rows.begin(), rows.end(), elements);
-  if (it == rows.end() || *it != elements) rows.insert(it, std::move(elements));
+  if (it == rows.end() || *it != elements) {
+    rows.insert(it, std::move(elements));
+    index_.reset();
+  }
+}
+
+const StructureIndex& Structure::Index() const {
+  if (index_ == nullptr) index_ = std::make_shared<StructureIndex>(*this);
+  return *index_;
 }
 
 bool Structure::HasFact(RelationId relation, const Tuple& elements) const {

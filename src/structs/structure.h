@@ -16,6 +16,8 @@
 
 namespace bagdet {
 
+class StructureIndex;
+
 /// A domain element. Domains are always {0, ..., DomainSize()-1}.
 using Element = std::uint32_t;
 
@@ -39,11 +41,17 @@ class Structure {
 
   /// Grows the domain to at least `size` elements.
   void EnsureDomain(std::size_t size) {
-    if (size > domain_size_) domain_size_ = size;
+    if (size > domain_size_) {
+      domain_size_ = size;
+      index_.reset();
+    }
   }
 
   /// Adds a fresh isolated element and returns it.
-  Element AddElement() { return static_cast<Element>(domain_size_++); }
+  Element AddElement() {
+    index_.reset();
+    return static_cast<Element>(domain_size_++);
+  }
 
   /// Adds the fact `relation(elements...)`; grows the domain as needed.
   /// Duplicate facts are ignored (structures are sets of facts).
@@ -89,11 +97,20 @@ class Structure {
   /// structures (the converse does not hold; use IsIsomorphic for that).
   std::uint64_t InvariantFingerprint() const;
 
+  /// Positional fact index (position → value → fact ids; see
+  /// structs/index.h). Built lazily on first use and cached; any mutation
+  /// invalidates the cache. The reference stays valid until the structure
+  /// is mutated or destroyed.
+  const StructureIndex& Index() const;
+
  private:
   std::shared_ptr<const Schema> schema_;
   std::size_t domain_size_ = 0;
   // facts_[r] = sorted vector of unique tuples of relation r.
   std::vector<std::vector<Tuple>> facts_;
+  // Lazily built index; shared so copies reuse it until either side
+  // mutates (mutation resets only the mutated structure's pointer).
+  mutable std::shared_ptr<const StructureIndex> index_;
 };
 
 /// Disjoint union A + B (Section 2.2); schemas must be equal. Nullary facts

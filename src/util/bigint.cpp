@@ -8,18 +8,59 @@
 namespace bagdet {
 
 namespace {
+
 constexpr std::uint64_t kBase = 1ull << 32;
+
+std::vector<std::uint32_t> LimbsFromU64(std::uint64_t value) {
+  std::vector<std::uint32_t> limbs;
+  if (value != 0) {
+    limbs.push_back(static_cast<std::uint32_t>(value & 0xffffffffu));
+    if (value >> 32) limbs.push_back(static_cast<std::uint32_t>(value >> 32));
+  }
+  return limbs;
+}
+
 }  // namespace
 
-BigInt::BigInt(std::int64_t value) {
-  if (value == 0) return;
-  negative_ = value < 0;
-  // Avoid UB on INT64_MIN by negating in unsigned space.
-  std::uint64_t magnitude =
-      negative_ ? ~static_cast<std::uint64_t>(value) + 1
-                : static_cast<std::uint64_t>(value);
-  limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
-  if (magnitude >> 32) limbs_.push_back(static_cast<std::uint32_t>(magnitude >> 32));
+std::vector<std::uint32_t> BigInt::MagnitudeLimbs() const {
+  return IsSmall() ? LimbsFromU64(small_) : limbs_;
+}
+
+void BigInt::SetMagnitude(std::vector<std::uint32_t> limbs) {
+  while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
+  if (limbs.size() <= 2) {
+    small_ = limbs.empty() ? 0 : limbs[0];
+    if (limbs.size() == 2) small_ |= static_cast<std::uint64_t>(limbs[1]) << 32;
+    limbs_.clear();
+  } else {
+    small_ = 0;
+    limbs_ = std::move(limbs);
+  }
+  if (IsZero()) negative_ = false;
+}
+
+void BigInt::MulAddSmallMagnitude(std::uint32_t multiplier,
+                                  std::uint32_t addend) {
+  if (IsSmall()) {
+    unsigned __int128 value =
+        static_cast<unsigned __int128>(small_) * multiplier + addend;
+    if ((value >> 64) == 0) {
+      small_ = static_cast<std::uint64_t>(value);
+      return;
+    }
+  }
+  std::vector<std::uint32_t> limbs = MagnitudeLimbs();
+  std::uint64_t carry = addend;
+  for (std::uint32_t& limb : limbs) {
+    std::uint64_t cur = static_cast<std::uint64_t>(limb) * multiplier + carry;
+    limb = static_cast<std::uint32_t>(cur & 0xffffffffu);
+    carry = cur >> 32;
+  }
+  while (carry != 0) {
+    limbs.push_back(static_cast<std::uint32_t>(carry & 0xffffffffu));
+    carry >>= 32;
+  }
+  SetMagnitude(std::move(limbs));
 }
 
 BigInt BigInt::FromString(std::string_view text) {
@@ -31,21 +72,34 @@ BigInt BigInt::FromString(std::string_view text) {
     i = 1;
   }
   if (i == text.size()) throw std::invalid_argument("BigInt: no digits");
+  // Consume 9-digit chunks (the largest power of ten below 2^32), mirroring
+  // ToString's base-10^9 scheme: one multiply-add per chunk instead of one
+  // per digit.
+  static constexpr std::uint32_t kPow10[10] = {
+      1,      10,      100,      1000,      10000,
+      100000, 1000000, 10000000, 100000000, 1000000000};
   BigInt result;
-  const BigInt ten(10);
-  for (; i < text.size(); ++i) {
-    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
-      throw std::invalid_argument("BigInt: bad digit in input");
+  while (i < text.size()) {
+    const std::size_t chunk_len = std::min<std::size_t>(9, text.size() - i);
+    std::uint32_t chunk = 0;
+    for (std::size_t j = 0; j < chunk_len; ++j, ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+        throw std::invalid_argument("BigInt: bad digit in input");
+      }
+      chunk = chunk * 10 + static_cast<std::uint32_t>(text[i] - '0');
     }
-    result *= ten;
-    result += BigInt(text[i] - '0');
+    result.MulAddSmallMagnitude(kPow10[chunk_len], chunk);
   }
   if (negative && !result.IsZero()) result.negative_ = true;
   return result;
 }
 
 std::size_t BigInt::BitLength() const {
-  if (limbs_.empty()) return 0;
+  if (IsSmall()) {
+    std::size_t bits = 0;
+    for (std::uint64_t v = small_; v != 0; v >>= 1) ++bits;
+    return bits;
+  }
   std::size_t bits = (limbs_.size() - 1) * 32;
   std::uint32_t top = limbs_.back();
   while (top != 0) {
@@ -56,25 +110,23 @@ std::size_t BigInt::BitLength() const {
 }
 
 bool BigInt::FitsInt64() const {
-  if (limbs_.size() > 2) return false;
-  if (limbs_.size() < 2) return true;
-  std::uint64_t magnitude =
-      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
-  if (negative_) return magnitude <= (1ull << 63);
-  return magnitude < (1ull << 63);
+  if (!IsSmall()) return false;  // Spilled magnitudes are >= 2^64.
+  if (negative_) return small_ <= (1ull << 63);
+  return small_ < (1ull << 63);
 }
 
 std::int64_t BigInt::ToInt64() const {
   if (!FitsInt64()) throw std::overflow_error("BigInt: does not fit in int64");
-  std::uint64_t magnitude = 0;
-  if (!limbs_.empty()) magnitude = limbs_[0];
-  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
-  return static_cast<std::int64_t>(magnitude);
+  if (negative_) return static_cast<std::int64_t>(~small_ + 1);
+  return static_cast<std::int64_t>(small_);
 }
 
 std::string BigInt::ToString() const {
   if (IsZero()) return "0";
+  if (IsSmall()) {
+    std::string digits = std::to_string(small_);
+    return negative_ ? "-" + digits : digits;
+  }
   std::vector<std::uint32_t> magnitude = limbs_;
   std::string digits;
   while (!magnitude.empty()) {
@@ -366,54 +418,107 @@ std::vector<std::uint32_t> BigInt::DivModMagnitude(
   return quotient;
 }
 
-void BigInt::Trim() {
-  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
-  if (limbs_.empty()) negative_ = false;
-}
-
 BigInt& BigInt::operator+=(const BigInt& other) {
+  if (IsSmall() && other.IsSmall()) {
+    if (negative_ == other.negative_) {
+      std::uint64_t sum = small_ + other.small_;
+      if (sum >= small_) {  // No wraparound: result still fits inline.
+        small_ = sum;
+        return *this;
+      }
+      // Carry out of 64 bits: spill to three limbs (2^64 + sum).
+      limbs_ = {static_cast<std::uint32_t>(sum & 0xffffffffu),
+                static_cast<std::uint32_t>(sum >> 32), 1u};
+      small_ = 0;
+      return *this;
+    }
+    if (small_ >= other.small_) {
+      small_ -= other.small_;
+      if (small_ == 0) negative_ = false;
+    } else {
+      small_ = other.small_ - small_;
+      negative_ = other.negative_;
+    }
+    return *this;
+  }
+  std::vector<std::uint32_t> a = MagnitudeLimbs();
+  const std::vector<std::uint32_t> b = other.MagnitudeLimbs();
   if (negative_ == other.negative_) {
-    AddMagnitude(&limbs_, other.limbs_);
+    AddMagnitude(&a, b);
   } else {
-    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    int cmp = CompareMagnitude(a, b);
     if (cmp == 0) {
-      limbs_.clear();
+      a.clear();
       negative_ = false;
     } else if (cmp > 0) {
-      SubMagnitude(&limbs_, other.limbs_);
+      SubMagnitude(&a, b);
     } else {
-      std::vector<std::uint32_t> result = other.limbs_;
-      SubMagnitude(&result, limbs_);
-      limbs_ = std::move(result);
+      std::vector<std::uint32_t> result = b;
+      SubMagnitude(&result, a);
+      a = std::move(result);
       negative_ = other.negative_;
     }
   }
-  Trim();
+  SetMagnitude(std::move(a));
   return *this;
 }
 
 BigInt& BigInt::operator-=(const BigInt& other) {
-  BigInt negated = other;
-  if (!negated.IsZero()) negated.negative_ = !negated.negative_;
-  return *this += negated;
+  // a - b == -(-a + b); the transient sign flip on `this` is safe because
+  // += only reads the other operand's sign once up front.
+  if (this == &other) return *this = BigInt();
+  if (!IsZero()) negative_ = !negative_;
+  *this += other;
+  if (!IsZero()) negative_ = !negative_;
+  return *this;
 }
 
 BigInt& BigInt::operator*=(const BigInt& other) {
-  negative_ = negative_ != other.negative_;
-  limbs_ = MulMagnitude(limbs_, other.limbs_);
-  Trim();
+  const bool result_negative = negative_ != other.negative_;
+  if (IsSmall() && other.IsSmall()) {
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(small_) * other.small_;
+    if ((product >> 64) == 0) {
+      small_ = static_cast<std::uint64_t>(product);
+      negative_ = small_ != 0 && result_negative;
+      return *this;
+    }
+    const std::uint64_t lo = static_cast<std::uint64_t>(product);
+    const std::uint64_t hi = static_cast<std::uint64_t>(product >> 64);
+    limbs_ = {static_cast<std::uint32_t>(lo & 0xffffffffu),
+              static_cast<std::uint32_t>(lo >> 32),
+              static_cast<std::uint32_t>(hi & 0xffffffffu)};
+    if (hi >> 32) limbs_.push_back(static_cast<std::uint32_t>(hi >> 32));
+    small_ = 0;
+    negative_ = result_negative;
+    return *this;
+  }
+  SetMagnitude(MulMagnitude(MagnitudeLimbs(), other.MagnitudeLimbs()));
+  negative_ = !IsZero() && result_negative;
   return *this;
 }
 
 void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
                     BigInt* remainder) {
+  if (b.IsZero()) throw std::domain_error("BigInt: division by zero");
+  if (a.IsSmall() && b.IsSmall()) {
+    BigInt q;
+    BigInt r;
+    q.small_ = a.small_ / b.small_;
+    r.small_ = a.small_ % b.small_;
+    q.negative_ = q.small_ != 0 && (a.negative_ != b.negative_);
+    r.negative_ = r.small_ != 0 && a.negative_;
+    if (quotient != nullptr) *quotient = std::move(q);
+    if (remainder != nullptr) *remainder = std::move(r);
+    return;
+  }
   BigInt q;
   BigInt r;
-  q.limbs_ = DivModMagnitude(a.limbs_, b.limbs_, &r.limbs_);
-  q.negative_ = !q.limbs_.empty() && (a.negative_ != b.negative_);
-  r.negative_ = !r.limbs_.empty() && a.negative_;
-  q.Trim();
-  r.Trim();
+  std::vector<std::uint32_t> rem;
+  q.SetMagnitude(DivModMagnitude(a.MagnitudeLimbs(), b.MagnitudeLimbs(), &rem));
+  r.SetMagnitude(std::move(rem));
+  q.negative_ = !q.IsZero() && (a.negative_ != b.negative_);
+  r.negative_ = !r.IsZero() && a.negative_;
   if (quotient != nullptr) *quotient = std::move(q);
   if (remainder != nullptr) *remainder = std::move(r);
 }
@@ -434,6 +539,17 @@ BigInt BigInt::Gcd(BigInt a, BigInt b) {
   a.negative_ = false;
   b.negative_ = false;
   while (!b.IsZero()) {
+    if (a.IsSmall() && b.IsSmall()) {
+      std::uint64_t x = a.small_;
+      std::uint64_t y = b.small_;
+      while (y != 0) {
+        std::uint64_t t = x % y;
+        x = y;
+        y = t;
+      }
+      a.small_ = x;
+      return a;
+    }
     BigInt remainder = a % b;
     a = std::move(b);
     b = std::move(remainder);
@@ -483,7 +599,15 @@ BigInt::RootResult BigInt::KthRoot(const BigInt& value, std::uint64_t k) {
 
 bool operator<(const BigInt& a, const BigInt& b) {
   if (a.negative_ != b.negative_) return a.negative_;
-  int cmp = BigInt::CompareMagnitude(a.limbs_, b.limbs_);
+  int cmp;
+  if (a.IsSmall() && b.IsSmall()) {
+    cmp = a.small_ < b.small_ ? -1 : (a.small_ > b.small_ ? 1 : 0);
+  } else if (a.IsSmall() != b.IsSmall()) {
+    // A spilled magnitude is >= 2^64, beyond any inline one.
+    cmp = a.IsSmall() ? -1 : 1;
+  } else {
+    cmp = BigInt::CompareMagnitude(a.limbs_, b.limbs_);
+  }
   return a.negative_ ? cmp > 0 : cmp < 0;
 }
 
@@ -493,8 +617,13 @@ std::ostream& operator<<(std::ostream& os, const BigInt& value) {
 
 std::size_t BigInt::Hash() const {
   std::size_t seed = negative_ ? 0x9e3779b97f4a7c15ull : 0;
-  for (std::uint32_t limb : limbs_) {
-    seed ^= limb + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  auto mix = [&seed](std::uint64_t v) {
+    seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  };
+  if (IsSmall()) {
+    mix(small_);
+  } else {
+    for (std::uint32_t limb : limbs_) mix(limb);
   }
   return seed;
 }

@@ -3,8 +3,15 @@
 // Homomorphism counts manipulated by the determinacy pipeline grow like
 // T^m (radix construction, Step 2 of Lemma 40) and like c^(k-1) (structure
 // powers, Step 3), so 64-bit arithmetic is not an option anywhere on the
-// decision path. BigInt is a plain value type: sign + little-endian
-// base-2^32 magnitude.
+// decision path. BigInt is a plain value type: sign + magnitude.
+//
+// The magnitude has two representations. Values below 2^64 live inline in
+// a single 64-bit word (`small_`) and never touch the heap — the DP join
+// engine performs millions of `+=`/`*=` on counts that are usually tiny,
+// and those stay allocation-free. Magnitudes of 2^64 and above spill into
+// a little-endian base-2^32 limb vector; every operation re-compacts its
+// result into the inline form whenever it fits, so the representation is
+// canonical and memberwise comparison stays valid.
 
 #ifndef BAGDET_UTIL_BIGINT_H_
 #define BAGDET_UTIL_BIGINT_H_
@@ -19,26 +26,31 @@ namespace bagdet {
 
 /// Arbitrary-precision signed integer.
 ///
-/// Invariants: `limbs_` has no trailing zero limbs; zero is represented as
-/// an empty limb vector with `negative_ == false`.
+/// Invariants: when `limbs_` is empty the magnitude is `small_`; otherwise
+/// the magnitude is the little-endian base-2^32 value of `limbs_`, which
+/// then has at least three limbs (>= 2^64), no trailing zero limbs, and
+/// `small_` is zero. Zero is small with `negative_ == false`.
 class BigInt {
  public:
   /// Constructs zero.
   BigInt() = default;
 
   /// Constructs from a native signed integer.
-  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+  BigInt(std::int64_t value)  // NOLINT(google-explicit-constructor)
+      : negative_(value < 0),
+        small_(value < 0 ? ~static_cast<std::uint64_t>(value) + 1
+                         : static_cast<std::uint64_t>(value)) {}
 
   /// Parses a decimal string with optional leading '-'.
   /// Throws std::invalid_argument on malformed input.
   static BigInt FromString(std::string_view text);
 
   /// True iff the value is zero.
-  bool IsZero() const { return limbs_.empty(); }
+  bool IsZero() const { return limbs_.empty() && small_ == 0; }
   /// True iff the value is strictly negative.
   bool IsNegative() const { return negative_; }
   /// True iff the value is one.
-  bool IsOne() const { return !negative_ && limbs_.size() == 1 && limbs_[0] == 1; }
+  bool IsOne() const { return !negative_ && limbs_.empty() && small_ == 1; }
 
   /// -1, 0, or +1 according to the sign of the value.
   int Sign() const { return IsZero() ? 0 : (negative_ ? -1 : 1); }
@@ -94,7 +106,10 @@ class BigInt {
   static RootResult KthRoot(const BigInt& value, std::uint64_t k);
 
   friend bool operator==(const BigInt& a, const BigInt& b) {
-    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+    // Canonical representation: equal values have equal members (small_ is
+    // kept at zero in spilled mode).
+    return a.negative_ == b.negative_ && a.small_ == b.small_ &&
+           a.limbs_ == b.limbs_;
   }
   friend bool operator!=(const BigInt& a, const BigInt& b) { return !(a == b); }
   friend bool operator<(const BigInt& a, const BigInt& b);
@@ -108,6 +123,16 @@ class BigInt {
   std::size_t Hash() const;
 
  private:
+  // True iff the magnitude lives inline in `small_`.
+  bool IsSmall() const { return limbs_.empty(); }
+  // The magnitude as a limb vector regardless of representation.
+  std::vector<std::uint32_t> MagnitudeLimbs() const;
+  // Installs a magnitude, compacting into `small_` when it fits in 64 bits.
+  void SetMagnitude(std::vector<std::uint32_t> limbs);
+  // this = |this| * multiplier + addend (magnitude only); the workhorse of
+  // the chunked decimal parse.
+  void MulAddSmallMagnitude(std::uint32_t multiplier, std::uint32_t addend);
+
   // Compares magnitudes only: -1, 0, +1.
   static int CompareMagnitude(const std::vector<std::uint32_t>& a,
                               const std::vector<std::uint32_t>& b);
@@ -125,9 +150,9 @@ class BigInt {
   // Divides magnitude in place by a small divisor, returns the remainder.
   static std::uint32_t DivSmallInPlace(std::vector<std::uint32_t>* a,
                                        std::uint32_t divisor);
-  void Trim();
 
   bool negative_ = false;
+  std::uint64_t small_ = 0;
   std::vector<std::uint32_t> limbs_;
 };
 
