@@ -48,7 +48,7 @@ void BM_BuildGoodBasis(benchmark::State& state) {
   }
   state.SetLabel("k=" + std::to_string(state.range(0)));
 }
-BENCHMARK(BM_BuildGoodBasis)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK(BM_BuildGoodBasis)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
 
 void BM_SynthesizeCounterexample(benchmark::State& state) {
   Instance inst = UndeterminedInstance(static_cast<std::size_t>(state.range(0)));

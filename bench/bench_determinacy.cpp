@@ -2,6 +2,11 @@
 // quantities the paper's complexity remarks single out: the number of
 // views |V0|, the number of basis queries k = |W| (everything after W is
 // polynomial), and decision-only vs. counterexample synthesis.
+//
+// Machine-readable output: run with --benchmark_format=json. The checked-in
+// BENCH_determinacy.json pairs these numbers (plus bench_counterexample's)
+// against the seed pipeline, before the canonical-interning + hom-cache
+// layer.
 
 #include <benchmark/benchmark.h>
 
@@ -89,7 +94,7 @@ void BM_DecideDetermined(benchmark::State& state) {
   }
   state.SetLabel("k=" + std::to_string(state.range(0)) + " determined");
 }
-BENCHMARK(BM_DecideDetermined)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+BENCHMARK(BM_DecideDetermined)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(8);
 
 void BM_DecideUndeterminedNoCertificate(benchmark::State& state) {
   Instance inst =
@@ -101,7 +106,8 @@ void BM_DecideUndeterminedNoCertificate(benchmark::State& state) {
   }
   state.SetLabel("k=" + std::to_string(state.range(0)) + " decision only");
 }
-BENCHMARK(BM_DecideUndeterminedNoCertificate)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK(BM_DecideUndeterminedNoCertificate)
+    ->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(8);
 
 void BM_DecideUndeterminedWithCounterexample(benchmark::State& state) {
   Instance inst =
@@ -112,7 +118,7 @@ void BM_DecideUndeterminedWithCounterexample(benchmark::State& state) {
   }
   state.SetLabel("k=" + std::to_string(state.range(0)) + " with certificate");
 }
-BENCHMARK(BM_DecideUndeterminedWithCounterexample)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_DecideUndeterminedWithCounterexample)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
 
 void BM_AnalyzeOnlyManyViews(benchmark::State& state) {
   // Scaling in |V0| with fixed k: the containment filter plus vectorization.

@@ -1,8 +1,11 @@
 #include "core/basis.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "hom/hom.h"
+#include "hom/hom_cache.h"
 #include "hom/symbolic.h"
 #include "linalg/gauss.h"
 
@@ -15,34 +18,60 @@ GoodBasis BuildGoodBasis(const InstanceAnalysis& analysis,
   const auto schema = analysis.query.schema_ptr();
   GoodBasis basis;
 
-  // Step 1: distinguishers for every pair. Duplicates are harmless but
-  // wasteful, so skip candidates equal to an already-collected one.
+  // The pipeline's shared memoized counter; hand-built analyses (tests,
+  // callers that fill InstanceAnalysis manually) get a private one.
+  std::shared_ptr<HomCache> local_cache;
+  HomCache* cache = analysis.hom_cache.get();
+  if (cache == nullptr) {
+    local_cache = std::make_shared<HomCache>();
+    cache = local_cache.get();
+  }
+  DistinguisherOptions dist_options = options;
+  if (dist_options.hom_cache == nullptr) dist_options.hom_cache = cache;
+
+  // Refs of the basis queries in the cache's pool. AnalyzeInstance already
+  // interned them; reuse its refs when they belong to this cache.
+  std::vector<StructureRef> w_refs;
+  if (cache == analysis.hom_cache.get() && analysis.basis_refs.size() == k) {
+    w_refs = analysis.basis_refs;
+  } else {
+    w_refs.reserve(k);
+    for (const Structure& wi : w) w_refs.push_back(cache->Intern(wi));
+  }
+
+  // Step 1: distinguishers for every pair, deduplicated by interned
+  // canonical ref (isomorphic candidates have identical hom counts, so one
+  // representative per class suffices — no pairwise equality scans).
+  std::vector<StructureRef> step1_refs;
   for (std::size_t i = 0; i < k; ++i) {
     for (std::size_t j = i + 1; j < k; ++j) {
-      std::optional<Structure> h = FindDistinguisher(w[i], w[j], options);
+      std::optional<Structure> h = FindDistinguisher(w[i], w[j], dist_options);
       if (!h.has_value()) {
         throw std::logic_error(
             "BuildGoodBasis: basis queries not pairwise non-isomorphic");
       }
-      bool duplicate = false;
-      for (const Structure& existing : basis.step1) {
-        if (existing == *h) {
-          duplicate = true;
-          break;
-        }
+      StructureRef ref = cache->pool().Intern(std::move(*h));
+      if (std::find(step1_refs.begin(), step1_refs.end(), ref) ==
+          step1_refs.end()) {
+        step1_refs.push_back(ref);
+        basis.step1.push_back(cache->pool().At(ref));
       }
-      if (!duplicate) basis.step1.push_back(std::move(*h));
     }
   }
 
   // Step 2: T must exceed every |hom(w_i, s(1)_j)| so the counts become
-  // distinct radix-T numerals (Observation 45).
+  // distinct radix-T numerals (Observation 45). The k × |S(1)| counts are
+  // independent — batch them through the cache's thread pool. They are
+  // also exactly the leaf counts the evaluation matrix needs below, so the
+  // batch doubles as a cache warm-up.
+  std::vector<std::pair<StructureRef, StructureRef>> scan;
+  scan.reserve(k * step1_refs.size());
+  for (StructureRef wi : w_refs) {
+    for (StructureRef s1 : step1_refs) scan.emplace_back(wi, s1);
+  }
   BigInt t_radix(2);
-  for (const Structure& wi : w) {
-    for (const Structure& s1 : basis.step1) {
-      BigInt count = CountHoms(wi, s1);
-      if (count >= t_radix) t_radix = count + BigInt(1);
-    }
+  for (const BigInt& count : cache->BatchCountHoms(scan)) {
+    if (count >= t_radix) t_radix = count + BigInt(1);
   }
   basis.radix = t_radix;
   std::vector<StructureExpr> terms;
@@ -64,10 +93,12 @@ GoodBasis BuildGoodBasis(const InstanceAnalysis& analysis,
 
   // Evaluation matrix M(i,j) = |hom(w_i, s_j)| via Lemma 4:
   //   |hom(w_i, s_j)| = |hom(w_i, s(2))|^j · |hom(w_i, q)|.
+  // The symbolic evaluation's leaf counts were all warmed by the Step-2
+  // batch, so each row costs only the BigInt radix arithmetic.
   basis.evaluation = Mat(k, k);
   for (std::size_t i = 0; i < k; ++i) {
-    BigInt base_count = CountHomsSymbolic(w[i], basis.step2);
-    BigInt q_count = CountHoms(w[i], analysis.query.FrozenBody());
+    BigInt base_count = CountHomsSymbolic(w[i], basis.step2, cache);
+    BigInt q_count = cache->Count(w_refs[i], analysis.query.FrozenBody());
     BigInt power(1);
     for (std::size_t j = 0; j < k; ++j) {
       basis.evaluation.At(i, j) = Rational(power * q_count);

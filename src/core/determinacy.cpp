@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "core/basis.h"
 #include "core/counterexample.h"
@@ -33,6 +34,41 @@ void CheckQueryUsable(const ConjunctiveQuery& query, const Schema& schema) {
   }
 }
 
+/// A cleared-denominator exponent as sign + checked uint64 magnitude.
+struct SignedExponent {
+  bool negative = false;
+  std::uint64_t magnitude = 0;
+};
+
+/// Range-checks a BigInt exponent before it is cast for BigInt::Pow. A
+/// pathological common denominator (or exponent scale) must fail loudly
+/// here instead of wrapping through an unchecked uint64 cast.
+SignedExponent CheckedExponent(const BigInt& value, const char* context) {
+  if (!value.FitsInt64()) {
+    throw std::invalid_argument(
+        std::string(context) + ": exponent " + value.ToString() +
+        " does not fit in a signed 64-bit integer (pathological witness "
+        "denominators are not supported)");
+  }
+  std::int64_t e = value.ToInt64();
+  if (e >= 0) return {false, static_cast<std::uint64_t>(e)};
+  // |INT64_MIN| overflows int64, so bump through e + 1.
+  return {true, static_cast<std::uint64_t>(-(e + 1)) + 1};
+}
+
+/// The common denominator c is used as a power and as a root index: it must
+/// be strictly positive and fit in uint64 via int64.
+std::uint64_t CheckedCommonDenominator(const BigInt& value,
+                                       const char* context) {
+  SignedExponent c = CheckedExponent(value, context);
+  if (c.negative || c.magnitude == 0) {
+    throw std::invalid_argument(std::string(context) +
+                                ": common denominator " + value.ToString() +
+                                " is not strictly positive");
+  }
+  return c.magnitude;
+}
+
 }  // namespace
 
 InstanceAnalysis AnalyzeInstance(std::vector<ConjunctiveQuery> views,
@@ -43,6 +79,8 @@ InstanceAnalysis AnalyzeInstance(std::vector<ConjunctiveQuery> views,
   for (const ConjunctiveQuery& view : views) CheckQueryUsable(view, schema);
   analysis.views = std::move(views);
   analysis.query = std::move(query);
+  analysis.pool = std::make_shared<StructurePool>();
+  analysis.hom_cache = std::make_shared<HomCache>(analysis.pool);
 
   // Definition 25: V = { v : q ⊆set v }, i.e. hom(v, q) ≠ ∅.
   for (std::size_t i = 0; i < analysis.views.size(); ++i) {
@@ -52,16 +90,21 @@ InstanceAnalysis AnalyzeInstance(std::vector<ConjunctiveQuery> views,
   }
 
   // Definition 27: W = components of Σ_{v ∈ V ∪ {q}} v up to isomorphism.
-  auto add_components = [&analysis](const Structure& frozen) {
-    for (Structure& component : ConnectedComponents(frozen)) {
-      bool known = false;
-      for (const Structure& w : analysis.basis_queries) {
-        if (IsIsomorphic(component, w)) {
-          known = true;
-          break;
-        }
-      }
-      if (!known) analysis.basis_queries.push_back(std::move(component));
+  // Canonical-form interning replaces the seed path's pairwise IsIsomorphic
+  // scan: a component is known iff its pool ref already has a basis index.
+  // ComponentRefs memoizes the decomposition per frozen body, reusing the
+  // certificates cached on the body itself.
+  StructurePool& pool = *analysis.pool;
+  HomCache& cache = *analysis.hom_cache;
+  std::vector<std::size_t> index_of_ref;  // ref → basis index (dense refs).
+  constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+  auto add_components = [&](const Structure& frozen) {
+    for (StructureRef ref : cache.ComponentRefs(frozen)) {
+      if (index_of_ref.size() <= ref) index_of_ref.resize(ref + 1, kNoIndex);
+      if (index_of_ref[ref] != kNoIndex) continue;
+      index_of_ref[ref] = analysis.basis_queries.size();
+      analysis.basis_queries.push_back(pool.At(ref));
+      analysis.basis_refs.push_back(ref);
     }
   };
   add_components(analysis.query.FrozenBody());
@@ -69,16 +112,15 @@ InstanceAnalysis AnalyzeInstance(std::vector<ConjunctiveQuery> views,
     add_components(analysis.views[i].FrozenBody());
   }
 
-  // Definition 29: multiplicity vectors over W.
-  auto vectorize = [&analysis](const Structure& frozen) {
+  // Definition 29: multiplicity vectors over W, again by interned ref.
+  auto vectorize = [&](const Structure& frozen) {
     Vec v(analysis.basis_queries.size());
-    for (const Structure& component : ConnectedComponents(frozen)) {
-      for (std::size_t i = 0; i < analysis.basis_queries.size(); ++i) {
-        if (IsIsomorphic(component, analysis.basis_queries[i])) {
-          v[i] += Rational(1);
-          break;
-        }
+    for (StructureRef ref : cache.ComponentRefs(frozen)) {
+      if (ref >= index_of_ref.size() || index_of_ref[ref] == kNoIndex) {
+        throw std::logic_error(
+            "AnalyzeInstance: component missing from the interned basis");
       }
+      v[index_of_ref[ref]] += Rational(1);
     }
     return v;
   };
@@ -116,10 +158,18 @@ DeterminacyResult DecideBagDeterminacy(std::vector<ConjunctiveQuery> views,
 bool CheckWitnessOnStructure(const InstanceAnalysis& analysis,
                              const DeterminacyWitness& witness,
                              const Structure& data) {
-  BigInt q_count = analysis.query.CountHomomorphisms(data);
+  // Route every count through the pipeline's memoized counter when the
+  // analysis carries one (repeated checks against the same data, or data
+  // sharing components, then cost one count per isomorphism class).
+  HomCache* cache = analysis.hom_cache.get();
+  auto count_on_data = [&](const ConjunctiveQuery& cq) {
+    return cache != nullptr ? cache->Count(cq.FrozenBody(), data)
+                            : cq.CountHomomorphisms(data);
+  };
+  BigInt q_count = count_on_data(analysis.query);
   std::vector<BigInt> view_counts;
   for (std::size_t index : witness.view_indices) {
-    view_counts.push_back(analysis.views[index].CountHomomorphisms(data));
+    view_counts.push_back(count_on_data(analysis.views[index]));
   }
   for (const BigInt& count : view_counts) {
     // Lemma 31 (⇐), Case 1 / Observation 26: a vanishing relevant view
@@ -130,15 +180,17 @@ bool CheckWitnessOnStructure(const InstanceAnalysis& analysis,
   // where c clears the denominators of the rational exponents α.
   BigInt c = witness.exponents.CommonDenominator();
   Rational c_rat{c};
-  BigInt lhs = BigInt::Pow(q_count, static_cast<std::uint64_t>(c.ToInt64()));
+  BigInt lhs = BigInt::Pow(
+      q_count, CheckedCommonDenominator(c, "CheckWitnessOnStructure"));
   BigInt rhs(1);
   for (std::size_t j = 0; j < view_counts.size(); ++j) {
     Rational scaled = witness.exponents[j] * c_rat;
-    std::int64_t e = scaled.numerator().ToInt64();
-    if (e >= 0) {
-      rhs *= BigInt::Pow(view_counts[j], static_cast<std::uint64_t>(e));
+    SignedExponent e =
+        CheckedExponent(scaled.numerator(), "CheckWitnessOnStructure");
+    if (!e.negative) {
+      rhs *= BigInt::Pow(view_counts[j], e.magnitude);
     } else {
-      lhs *= BigInt::Pow(view_counts[j], static_cast<std::uint64_t>(-e));
+      lhs *= BigInt::Pow(view_counts[j], e.magnitude);
     }
   }
   return lhs == rhs;
@@ -158,16 +210,19 @@ BigInt AnswerFromViewCounts(const DeterminacyWitness& witness,
   // q(D)^c = Π_{α_j > 0} v_j^{c·α_j} / Π_{α_j < 0} v_j^{c·|α_j|} with c
   // clearing denominators; extract the exact c-th root at the end.
   BigInt c = witness.exponents.CommonDenominator();
+  const std::uint64_t c_exp =
+      CheckedCommonDenominator(c, "AnswerFromViewCounts");
   Rational c_rat{c};
   BigInt numerator(1);
   BigInt denominator(1);
   for (std::size_t j = 0; j < counts.size(); ++j) {
     Rational scaled = witness.exponents[j] * c_rat;
-    std::int64_t e = scaled.numerator().ToInt64();
-    if (e >= 0) {
-      numerator *= BigInt::Pow(counts[j], static_cast<std::uint64_t>(e));
+    SignedExponent e =
+        CheckedExponent(scaled.numerator(), "AnswerFromViewCounts");
+    if (!e.negative) {
+      numerator *= BigInt::Pow(counts[j], e.magnitude);
     } else {
-      denominator *= BigInt::Pow(counts[j], static_cast<std::uint64_t>(-e));
+      denominator *= BigInt::Pow(counts[j], e.magnitude);
     }
   }
   BigInt quotient, remainder;
@@ -177,8 +232,7 @@ BigInt AnswerFromViewCounts(const DeterminacyWitness& witness,
         "AnswerFromViewCounts: counts inconsistent with the witness "
         "(non-integral power product)");
   }
-  BigInt::RootResult root =
-      BigInt::KthRoot(quotient, static_cast<std::uint64_t>(c.ToInt64()));
+  BigInt::RootResult root = BigInt::KthRoot(quotient, c_exp);
   if (!root.exact) {
     throw std::invalid_argument(
         "AnswerFromViewCounts: counts inconsistent with the witness "
@@ -190,20 +244,22 @@ BigInt AnswerFromViewCounts(const DeterminacyWitness& witness,
 std::optional<std::string> VerifyCounterexample(
     const InstanceAnalysis& analysis,
     const BagCounterexample& counterexample) {
+  HomCache* cache = analysis.hom_cache.get();
   for (std::size_t i = 0; i < analysis.views.size(); ++i) {
     const ConjunctiveQuery& view = analysis.views[i];
-    BigInt on_d = CountHomsSymbolicAny(view.FrozenBody(), counterexample.d);
+    BigInt on_d =
+        CountHomsSymbolicAny(view.FrozenBody(), counterexample.d, cache);
     BigInt on_d_prime =
-        CountHomsSymbolicAny(view.FrozenBody(), counterexample.d_prime);
+        CountHomsSymbolicAny(view.FrozenBody(), counterexample.d_prime, cache);
     if (on_d != on_d_prime) {
       return "view '" + view.name() + "' (index " + std::to_string(i) +
              ") differs: " + on_d.ToString() + " vs " + on_d_prime.ToString();
     }
   }
-  BigInt q_on_d =
-      CountHomsSymbolicAny(analysis.query.FrozenBody(), counterexample.d);
+  BigInt q_on_d = CountHomsSymbolicAny(analysis.query.FrozenBody(),
+                                       counterexample.d, cache);
   BigInt q_on_d_prime = CountHomsSymbolicAny(analysis.query.FrozenBody(),
-                                             counterexample.d_prime);
+                                             counterexample.d_prime, cache);
   if (q_on_d == q_on_d_prime) {
     return "query agrees on both structures (" + q_on_d.ToString() +
            "); not a counterexample";

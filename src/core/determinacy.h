@@ -19,13 +19,16 @@
 #ifndef BAGDET_CORE_DETERMINACY_H_
 #define BAGDET_CORE_DETERMINACY_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/distinguisher.h"
+#include "hom/hom_cache.h"
 #include "linalg/matrix.h"
 #include "query/cq.h"
+#include "structs/pool.h"
 #include "structs/structure_expr.h"
 
 namespace bagdet {
@@ -47,6 +50,18 @@ struct InstanceAnalysis {
 
   /// q⃗.
   Vec query_vector;
+
+  /// Canonical-form interning pool shared by the whole pipeline: every
+  /// component of every frozen body is interned here, and `basis_queries[i]`
+  /// is the representative of class `basis_refs[i]`.
+  std::shared_ptr<StructurePool> pool;
+
+  /// Memoized hom counter over `pool`, shared by BuildGoodBasis,
+  /// FindDistinguisher and CheckWitnessOnStructure.
+  std::shared_ptr<HomCache> hom_cache;
+
+  /// Pool refs of `basis_queries`, index-aligned.
+  std::vector<StructureRef> basis_refs;
 };
 
 /// Computes the analysis. Throws std::invalid_argument when q or a view is
@@ -103,6 +118,13 @@ DeterminacyResult DecideBagDeterminacy(
 /// returns true iff q(D) matches Π v_j(D)^α_j (or 0 when some v_j(D) = 0).
 /// Exact; rational exponents are handled by checking the cleared-denominator
 /// power identity q(D)^c · Π_{α_j<0} v_j(D)^{c·|α_j|} = Π_{α_j>0} v_j(D)^{c·α_j}.
+///
+/// Counts route through the analysis's shared HomCache (as does
+/// VerifyCounterexample): repeated checks are memoized, which also means
+/// (a) concurrent calls on the *same* analysis are not safe — the pool and
+/// decomposition memo are unsynchronized — and (b) each distinct small
+/// `data` (≤ HomCache::max_intern_domain() elements) stays interned for
+/// the analysis's lifetime. Larger data bypasses the cache entirely.
 bool CheckWitnessOnStructure(const InstanceAnalysis& analysis,
                              const DeterminacyWitness& witness,
                              const Structure& data);

@@ -1,14 +1,22 @@
 #include "core/distinguisher.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "hom/hom.h"
+#include "hom/hom_cache.h"
 #include "structs/generator.h"
 #include "util/rng.h"
 
 namespace bagdet {
 
 Structure InducedSubstructure(const Structure& s, std::uint64_t mask) {
+  if (s.DomainSize() > 64) {
+    throw std::invalid_argument(
+        "InducedSubstructure: domain has " + std::to_string(s.DomainSize()) +
+        " elements; a 64-bit mask can only address 64 (the subset sweep "
+        "does not apply — lower DistinguisherOptions::max_subset_domain)");
+  }
   std::vector<Element> rename(s.DomainSize(), 0);
   std::size_t kept = 0;
   for (std::size_t e = 0; e < s.DomainSize(); ++e) {
@@ -36,7 +44,10 @@ Structure InducedSubstructure(const Structure& s, std::uint64_t mask) {
 namespace {
 
 bool Distinguishes(const Structure& a, const Structure& b,
-                   const Structure& candidate) {
+                   const Structure& candidate, HomCache* cache) {
+  if (cache != nullptr) {
+    return cache->Count(a, candidate) != cache->Count(b, candidate);
+  }
   return CountHoms(a, candidate) != CountHoms(b, candidate);
 }
 
@@ -45,24 +56,32 @@ bool Distinguishes(const Structure& a, const Structure& b,
 std::optional<Structure> FindDistinguisher(const Structure& a,
                                            const Structure& b,
                                            const DistinguisherOptions& options) {
-  if (IsIsomorphic(a, b)) return std::nullopt;
+  HomCache* cache = options.hom_cache;
+  if (cache != nullptr
+          ? cache->pool().Intern(a) == cache->pool().Intern(b)
+          : IsIsomorphic(a, b)) {
+    return std::nullopt;
+  }
   // Tier 0: the structures themselves (frequent cheap winners).
-  if (Distinguishes(a, b, a)) return a;
-  if (Distinguishes(a, b, b)) return b;
-  // Tier 1: the complete induced-substructure family (see header).
+  if (Distinguishes(a, b, a, cache)) return a;
+  if (Distinguishes(a, b, b, cache)) return b;
+  // Tier 1: the complete induced-substructure family (see header). The
+  // sweep mask is 64-bit, so domains of 64+ elements fall through to the
+  // random tier regardless of max_subset_domain.
+  const std::size_t sweep_limit =
+      options.max_subset_domain < 64 ? options.max_subset_domain : 63;
   for (const Structure* side : {&a, &b}) {
-    if (side->DomainSize() > options.max_subset_domain) continue;
+    if (side->DomainSize() > sweep_limit) continue;
     const std::uint64_t limit = 1ull << side->DomainSize();
     for (std::uint64_t mask = 0; mask < limit; ++mask) {
       Structure candidate = InducedSubstructure(*side, mask);
-      if (Distinguishes(a, b, candidate)) return candidate;
+      if (Distinguishes(a, b, candidate, cache)) return candidate;
     }
     // Both sweeps completing without a hit is impossible for non-isomorphic
     // inputs (see the header's completeness argument), so reaching the end
     // of the second sweep indicates a bug.
   }
-  if (a.DomainSize() <= options.max_subset_domain &&
-      b.DomainSize() <= options.max_subset_domain) {
+  if (a.DomainSize() <= sweep_limit && b.DomainSize() <= sweep_limit) {
     throw std::logic_error(
         "FindDistinguisher: induced-substructure sweep found nothing for "
         "non-isomorphic structures (internal invariant violated)");
@@ -72,7 +91,7 @@ std::optional<Structure> FindDistinguisher(const Structure& a,
   for (int attempt = 0; attempt < options.random_attempts; ++attempt) {
     std::size_t domain = 1 + rng.Below(options.max_random_domain);
     Structure candidate = RandomStructure(a.schema_ptr(), domain, &rng);
-    if (Distinguishes(a, b, candidate)) return candidate;
+    if (Distinguishes(a, b, candidate, cache)) return candidate;
   }
   throw std::runtime_error(
       "FindDistinguisher: inputs exceed max_subset_domain and random search "

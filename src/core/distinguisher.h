@@ -26,15 +26,24 @@
 
 namespace bagdet {
 
+class HomCache;
+
 struct DistinguisherOptions {
   /// Upper bound on the domain size for the (complete) induced-substructure
   /// sweep; above it only the cheap candidates and random search run.
+  /// Effective bound is min(this, 63): the sweep addresses subsets through
+  /// a 64-bit mask.
   std::size_t max_subset_domain = 16;
   /// Random fallback: number of attempts and maximal random domain size.
   int random_attempts = 512;
   std::size_t max_random_domain = 4;
   /// RNG seed for the fallback.
   std::uint64_t seed = 17;
+  /// Optional memoized hom counter (hom/hom_cache.h). When set, the
+  /// isomorphism pre-check uses canonical-key interning and every candidate
+  /// count is cached — candidates repeat heavily across the pairwise Step-1
+  /// loop of BuildGoodBasis. Not owned; must outlive the search.
+  HomCache* hom_cache = nullptr;
 };
 
 /// Finds a structure H with |hom(a, H)| ≠ |hom(b, H)|.

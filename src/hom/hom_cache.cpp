@@ -1,0 +1,144 @@
+#include "hom/hom_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "hom/hom.h"
+#include "structs/index.h"
+
+namespace bagdet {
+
+HomCache::HomCache(std::shared_ptr<StructurePool> pool)
+    : pool_(pool ? std::move(pool) : std::make_shared<StructurePool>()) {}
+
+BigInt HomCache::CountPair(StructureRef from, StructureRef to) {
+  const std::uint64_t key = PairKey(from, to);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counts_.find(key);
+    if (it != counts_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+  BigInt count = CountHoms(pool_->At(from), pool_->At(to));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.emplace(key, count);
+  }
+  return count;
+}
+
+BigInt HomCache::Count(StructureRef from, StructureRef to) {
+  return CountPair(from, to);
+}
+
+BigInt HomCache::Count(StructureRef from, const Structure& to) {
+  if (to.DomainSize() > max_intern_domain_) {
+    return CountHoms(pool_->At(from), to);
+  }
+  return CountPair(from, pool_->Intern(to));
+}
+
+BigInt HomCache::Count(const Structure& from, const Structure& to) {
+  if (to.DomainSize() > max_intern_domain_) return CountHoms(from, to);
+  const StructureRef to_ref = pool_->Intern(to);
+  BigInt product(1);
+  for (StructureRef ref : ComponentRefs(from)) {
+    BigInt count = CountPair(ref, to_ref);
+    if (count.IsZero()) return BigInt(0);
+    product *= count;
+  }
+  return product;
+}
+
+const std::vector<StructureRef>& HomCache::ComponentRefs(const Structure& s) {
+  const StructureCanonicalData& data = s.CanonicalData();
+  CanonicalKey whole_key = CanonicalKeyOf(s);
+  auto it = components_of_.find(whole_key);
+  if (it != components_of_.end()) return it->second;
+  std::vector<StructureRef> refs;
+  refs.reserve(data.component_certificates.size());
+  // Reuse the certificates computed for `s`: only components whose class
+  // is genuinely new to the pool force a decomposition (for the
+  // representative copy) — never a second labeling search.
+  std::vector<Structure> components;
+  bool decomposed = false;
+  for (std::size_t i = 0; i < data.component_certificates.size(); ++i) {
+    CanonicalKey key = ComponentKeyFromCertificate(
+        s.schema(), data.component_certificates[i]);
+    StructureRef ref = pool_->FindKey(key);
+    if (ref == kInvalidStructureRef) {
+      if (!decomposed) {
+        components = ConnectedComponents(s);
+        decomposed = true;
+      }
+      // Seed the representative's canonical cache so later interns of the
+      // pool's own structures (FindDistinguisher, symbolic leaves) are
+      // pure hash probes. A single component's whole-structure certificate
+      // is exactly the component key's byte form.
+      components[i].CacheCanonicalData(
+          std::make_shared<const StructureCanonicalData>(StructureCanonicalData{
+              key.bytes, {data.component_certificates[i]}}));
+      ref = pool_->InternWithKey(key, std::move(components[i]));
+    }
+    refs.push_back(ref);
+  }
+  return components_of_.emplace(std::move(whole_key), std::move(refs))
+      .first->second;
+}
+
+std::vector<BigInt> HomCache::BatchCountHoms(
+    const std::vector<std::pair<StructureRef, StructureRef>>& pairs,
+    std::size_t num_threads) {
+  std::vector<BigInt> results(pairs.size());
+  // Warm the targets' positional indexes on this thread: Structure::Index()
+  // builds lazily and is not safe to build from two workers at once.
+  for (const auto& [from, to] : pairs) {
+    pool_->At(from);  // Validates the ref.
+    pool_->At(to).Index();
+  }
+  std::size_t workers =
+      num_threads == 0 ? std::thread::hardware_concurrency() : num_threads;
+  if (workers == 0) workers = 1;
+  workers = std::min(workers, pairs.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      results[i] = CountPair(pairs[i].first, pairs[i].second);
+    }
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= pairs.size()) return;
+      try {
+        results[i] = CountPair(pairs[i].first, pairs[i].second);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+HomCache::Stats HomCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace bagdet

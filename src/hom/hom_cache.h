@@ -1,0 +1,112 @@
+// bagdet: memoized homomorphism counting over interned structures.
+//
+// Every layer of the determinacy pipeline reduces to |hom(A, B)| for small
+// A (a basis query or a component of one) against a shared set of targets:
+// the radix-T scan and evaluation matrix of BuildGoodBasis, the candidate
+// sweep of FindDistinguisher, and witness checking all re-count identical
+// (isomorphism class, isomorphism class) pairs from scratch in the seed
+// path. HomCache interns both sides in a StructurePool (structs/pool.h)
+// and memoizes counts keyed by the (from-ref, to-ref) pair — sound because
+// |hom| is an isomorphism invariant in both arguments.
+//
+// Count(Structure, Structure) decomposes the source into connected
+// components first (Lemma 4(5)), so cache entries are per-(component,
+// target) and shared across every query whose body contains an isomorphic
+// component.
+//
+// BatchCountHoms farms independent uncached pairs across a small thread
+// pool. Interning and target-index warming happen on the calling thread;
+// workers only read the pool and the per-pair table under a mutex, so the
+// cache itself is safe to use concurrently from the batch workers.
+
+#ifndef BAGDET_HOM_HOM_CACHE_H_
+#define BAGDET_HOM_HOM_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "structs/pool.h"
+#include "structs/structure.h"
+#include "util/bigint.h"
+
+namespace bagdet {
+
+class HomCache {
+ public:
+  /// Wraps an existing pool (shared with other pipeline stages), or
+  /// creates a private one when `pool` is null.
+  explicit HomCache(std::shared_ptr<StructurePool> pool = nullptr);
+
+  StructurePool& pool() { return *pool_; }
+  const StructurePool& pool() const { return *pool_; }
+  const std::shared_ptr<StructurePool>& pool_ptr() const { return pool_; }
+
+  /// Interns `s` into the shared pool and returns its class ref.
+  StructureRef Intern(const Structure& s) { return pool_->Intern(s); }
+
+  /// |hom(from, to)| for two interned classes, memoized.
+  BigInt Count(StructureRef from, StructureRef to);
+
+  /// |hom(from, to)| for an interned source class against an arbitrary
+  /// target (interned via its cached canonical form; targets beyond
+  /// max_intern_domain() bypass the cache like the two-Structure overload).
+  BigInt Count(StructureRef from, const Structure& to);
+
+  /// |hom(from, to)| for arbitrary structures: decomposes `from` into
+  /// connected components, interns each side, and multiplies memoized
+  /// per-component counts (Lemma 4(5)). Targets with more than
+  /// `max_intern_domain()` elements bypass the cache (canonicalizing a
+  /// huge target would cost more than it saves).
+  BigInt Count(const Structure& from, const Structure& to);
+
+  /// Pool refs of the connected components of `s`, in component order —
+  /// memoized per canonical class, and built from the structure's cached
+  /// per-component certificates, so repeated decompositions of pipeline
+  /// objects never re-run the labeling search. The reference is valid
+  /// until the cache is destroyed. Not safe to call concurrently.
+  const std::vector<StructureRef>& ComponentRefs(const Structure& s);
+
+  /// Counts every pair, memoized, fanning uncached pairs out over up to
+  /// `num_threads` workers (0 = hardware concurrency). Results are in
+  /// input order.
+  std::vector<BigInt> BatchCountHoms(
+      const std::vector<std::pair<StructureRef, StructureRef>>& pairs,
+      std::size_t num_threads = 0);
+
+  /// Cache-bypass threshold for Count(Structure, Structure) targets.
+  std::size_t max_intern_domain() const { return max_intern_domain_; }
+  void set_max_intern_domain(std::size_t n) { max_intern_domain_ = n; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  static std::uint64_t PairKey(StructureRef from, StructureRef to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  /// Returns the cached count or computes-and-caches it. Thread-safe.
+  BigInt CountPair(StructureRef from, StructureRef to);
+
+  std::shared_ptr<StructurePool> pool_;
+  std::size_t max_intern_domain_ = 256;
+
+  // Whole-structure canonical key → component refs (single-threaded use).
+  std::unordered_map<CanonicalKey, std::vector<StructureRef>, CanonicalKeyHash>
+      components_of_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, BigInt> counts_;
+  Stats stats_;
+};
+
+}  // namespace bagdet
+
+#endif  // BAGDET_HOM_HOM_CACHE_H_

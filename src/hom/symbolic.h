@@ -17,20 +17,26 @@
 
 namespace bagdet {
 
+class HomCache;
+
 /// Number of homomorphisms from the *connected* structure `from` (nonempty
 /// domain) into the structure denoted by `expr`, evaluated via Lemma 4
-/// without materializing `expr`.
+/// without materializing `expr`. When `cache` is non-null, every leaf
+/// |hom(from, base)| count routes through it (memoized across calls and
+/// across the determinacy pipeline).
 ///
 /// Throws std::invalid_argument when `from` is not connected or has an
 /// empty domain (the sum/scalar laws of Lemma 4 require connectedness, and
 /// empty-domain components — nullary facts — do not satisfy them).
-BigInt CountHomsSymbolic(const Structure& from, const StructureExpr& expr);
+BigInt CountHomsSymbolic(const Structure& from, const StructureExpr& expr,
+                         HomCache* cache = nullptr);
 
 /// Number of homomorphisms from an arbitrary structure into `expr`:
 /// decomposes `from` into connected components and multiplies the
 /// per-component symbolic counts (Lemma 4(5)). Same empty-domain-component
-/// restriction as above.
-BigInt CountHomsSymbolicAny(const Structure& from, const StructureExpr& expr);
+/// restriction and `cache` semantics as above.
+BigInt CountHomsSymbolicAny(const Structure& from, const StructureExpr& expr,
+                            HomCache* cache = nullptr);
 
 }  // namespace bagdet
 

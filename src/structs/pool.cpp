@@ -1,0 +1,36 @@
+#include "structs/pool.h"
+
+#include <utility>
+
+namespace bagdet {
+
+StructureRef StructurePool::InternWithKey(const CanonicalKey& key,
+                                          Structure s) {
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+  StructureRef ref = static_cast<StructureRef>(structures_.size());
+  keys_.push_back(key);
+  by_key_.emplace(key, ref);
+  structures_.push_back(std::move(s));
+  return ref;
+}
+
+StructureRef StructurePool::Intern(const Structure& s) {
+  return InternWithKey(CanonicalKeyOf(s), s);
+}
+
+StructureRef StructurePool::Intern(Structure&& s) {
+  CanonicalKey key = CanonicalKeyOf(s);
+  return InternWithKey(key, std::move(s));
+}
+
+StructureRef StructurePool::Find(const Structure& s) const {
+  return FindKey(CanonicalKeyOf(s));
+}
+
+StructureRef StructurePool::FindKey(const CanonicalKey& key) const {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? kInvalidStructureRef : it->second;
+}
+
+}  // namespace bagdet

@@ -1,0 +1,72 @@
+// bagdet: canonical-form interning of structures.
+//
+// A StructurePool maps canonical keys (structs/canonical.h) to unique,
+// dense StructureRef ids: two structures intern to the same ref iff they
+// are isomorphic. This turns the pipeline's "is this component already
+// known?" and "which basis index is this component?" questions — previously
+// O(k) pairwise IsIsomorphic backtracking — into single hash-map probes,
+// and gives the hom-count cache (hom/hom_cache.h) stable (from, to) keys.
+//
+// The pool is not synchronized; intern on one thread (HomCache's batch
+// entry point pre-interns before farming counts out to workers).
+
+#ifndef BAGDET_STRUCTS_POOL_H_
+#define BAGDET_STRUCTS_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "structs/canonical.h"
+#include "structs/structure.h"
+
+namespace bagdet {
+
+/// Dense id of an interned isomorphism class within one StructurePool.
+using StructureRef = std::uint32_t;
+
+/// Sentinel for "not interned".
+constexpr StructureRef kInvalidStructureRef = static_cast<StructureRef>(-1);
+
+/// Interning pool: canonical key → unique ref, with the first-seen
+/// representative structure retained per class.
+class StructurePool {
+ public:
+  /// Interns `s`, returning the ref of its isomorphism class. The first
+  /// structure of a class becomes the class representative; later
+  /// isomorphic structures return the existing ref without being stored.
+  /// Uses the structure's cached canonical form (Structure::CanonicalData).
+  StructureRef Intern(const Structure& s);
+  StructureRef Intern(Structure&& s);
+
+  /// Interns `s` under an externally computed `key`. The caller guarantees
+  /// key == CanonicalKeyOf(s) — used by layers that already hold the
+  /// per-component certificates and must not re-run the labeling search.
+  StructureRef InternWithKey(const CanonicalKey& key, Structure s);
+
+  /// Ref of `s`'s class if already interned, kInvalidStructureRef otherwise.
+  StructureRef Find(const Structure& s) const;
+
+  /// Ref of the class with this canonical key, if interned.
+  StructureRef FindKey(const CanonicalKey& key) const;
+
+  /// Representative structure of a class. The reference is stable for the
+  /// lifetime of the pool (storage never moves).
+  const Structure& At(StructureRef ref) const { return structures_.at(ref); }
+
+  /// Canonical key of a class.
+  const CanonicalKey& KeyOf(StructureRef ref) const { return keys_.at(ref); }
+
+  /// Number of distinct isomorphism classes interned.
+  std::size_t size() const { return structures_.size(); }
+
+ private:
+  std::unordered_map<CanonicalKey, StructureRef, CanonicalKeyHash> by_key_;
+  std::deque<Structure> structures_;  // Deque: stable references across growth.
+  std::vector<CanonicalKey> keys_;
+};
+
+}  // namespace bagdet
+
+#endif  // BAGDET_STRUCTS_POOL_H_

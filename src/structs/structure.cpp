@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "structs/canonical.h"
 #include "structs/index.h"
 #include "structs/refinement.h"
 
@@ -36,12 +37,21 @@ void Structure::AddFact(RelationId relation, Tuple elements) {
   if (it == rows.end() || *it != elements) {
     rows.insert(it, std::move(elements));
     index_.reset();
+    canonical_.reset();
   }
 }
 
 const StructureIndex& Structure::Index() const {
   if (index_ == nullptr) index_ = std::make_shared<StructureIndex>(*this);
   return *index_;
+}
+
+const StructureCanonicalData& Structure::CanonicalData() const {
+  if (canonical_ == nullptr) {
+    canonical_ =
+        std::make_shared<const StructureCanonicalData>(ComputeCanonicalData(*this));
+  }
+  return *canonical_;
 }
 
 bool Structure::HasFact(RelationId relation, const Tuple& elements) const {

@@ -17,6 +17,7 @@
 namespace bagdet {
 
 class StructureIndex;
+struct StructureCanonicalData;
 
 /// A domain element. Domains are always {0, ..., DomainSize()-1}.
 using Element = std::uint32_t;
@@ -44,12 +45,14 @@ class Structure {
     if (size > domain_size_) {
       domain_size_ = size;
       index_.reset();
+      canonical_.reset();
     }
   }
 
   /// Adds a fresh isolated element and returns it.
   Element AddElement() {
     index_.reset();
+    canonical_.reset();
     return static_cast<Element>(domain_size_++);
   }
 
@@ -103,6 +106,19 @@ class Structure {
   /// is mutated or destroyed.
   const StructureIndex& Index() const;
 
+  /// Complete canonical form (key + per-component certificates; see
+  /// structs/canonical.h). Built lazily on first use and cached with the
+  /// same lifetime/invalidation rules as Index().
+  const StructureCanonicalData& CanonicalData() const;
+
+  /// Installs an externally computed canonical form, skipping the labeling
+  /// search. The caller guarantees `data` describes this structure's
+  /// current contents (interning layers hold the certificates already).
+  void CacheCanonicalData(
+      std::shared_ptr<const StructureCanonicalData> data) const {
+    canonical_ = std::move(data);
+  }
+
  private:
   std::shared_ptr<const Schema> schema_;
   std::size_t domain_size_ = 0;
@@ -111,6 +127,8 @@ class Structure {
   // Lazily built index; shared so copies reuse it until either side
   // mutates (mutation resets only the mutated structure's pointer).
   mutable std::shared_ptr<const StructureIndex> index_;
+  // Lazily computed canonical form, cached with the same sharing scheme.
+  mutable std::shared_ptr<const StructureCanonicalData> canonical_;
 };
 
 /// Disjoint union A + B (Section 2.2); schemas must be equal. Nullary facts
