@@ -1,10 +1,14 @@
 // Benchmarks for the exact arithmetic / linear algebra substrate: BigInt
 // multiplication and division, Gaussian elimination, span tests and
-// orthogonal witnesses (the Main Lemma's inner loop).
+// orthogonal witnesses (the Main Lemma's inner loop). The *BigEntries
+// pairs pit the certified multi-modular driver (the production dispatch)
+// against the always-exact reference on hom-count-sized integer entries —
+// the workload BENCH_linalg.json tracks.
 
 #include <benchmark/benchmark.h>
 
 #include "linalg/gauss.h"
+#include "linalg/modular_solve.h"
 #include "util/bigint.h"
 #include "util/rng.h"
 
@@ -115,6 +119,218 @@ void BM_OrthogonalWitness(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OrthogonalWitness)->Arg(4)->Arg(8)->Arg(16);
+
+// --- Modular fast path vs exact reference on large-integer entries ------
+//
+// Entries are random integers of 32*limbs bits (limbs fixed at 8, i.e.
+// 256-bit — the scale of the radix-T hom counts BuildGoodBasis feeds the
+// evaluation matrix); the Arg is the matrix dimension.
+
+constexpr int kBigLimbs = 8;
+
+Mat RandomBigMatrix(Rng* rng, std::size_t rows, std::size_t cols) {
+  Mat m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      BigInt v = RandomBig(rng, kBigLimbs);
+      if (rng->Chance(1, 2)) v = -v;
+      m.At(r, c) = Rational(std::move(v));
+    }
+  }
+  return m;
+}
+
+/// Rank-deficient variant: the last rows are combinations of the first two.
+Mat RandomBigLowRankMatrix(Rng* rng, std::size_t n) {
+  Mat m = RandomBigMatrix(rng, n, n);
+  for (std::size_t r = 2; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m.At(r, c) = m.At(0, c) * Rational(rng->Range(1, 3)) +
+                   m.At(1, c) * Rational(rng->Range(1, 3));
+    }
+  }
+  return m;
+}
+
+void BM_RrefBigEntries(benchmark::State& state) {
+  Rng rng(29);
+  Mat m = RandomBigMatrix(&rng, static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceToRref(m));
+  }
+  state.SetLabel("modular dispatch, 256-bit entries");
+}
+BENCHMARK(BM_RrefBigEntries)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_RrefBigEntriesExact(benchmark::State& state) {
+  Rng rng(29);
+  Mat m = RandomBigMatrix(&rng, static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceToRrefExact(m));
+  }
+  state.SetLabel("exact reference, 256-bit entries");
+}
+BENCHMARK(BM_RrefBigEntriesExact)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_RankBigEntries(benchmark::State& state) {
+  Rng rng(31);
+  Mat m = RandomBigMatrix(&rng, static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Rank(m));
+  }
+  state.SetLabel("single-prime probe saturates");
+}
+BENCHMARK(BM_RankBigEntries)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_RankBigEntriesExact(benchmark::State& state) {
+  Rng rng(31);
+  Mat m = RandomBigMatrix(&rng, static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReduceToRrefExact(m).rank);
+  }
+}
+BENCHMARK(BM_RankBigEntriesExact)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_NullspaceBigEntries(benchmark::State& state) {
+  Rng rng(37);
+  Mat m = RandomBigLowRankMatrix(&rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NullspaceBasis(m));
+  }
+  state.SetLabel("rank-2 kernel, 256-bit entries");
+}
+BENCHMARK(BM_NullspaceBigEntries)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_NullspaceBigEntriesExact(benchmark::State& state) {
+  Rng rng(37);
+  Mat m = RandomBigLowRankMatrix(&rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    // NullspaceBasis body over the exact reference RREF.
+    Rref rref = ReduceToRrefExact(m);
+    std::vector<bool> is_pivot(m.cols(), false);
+    for (std::size_t p : rref.pivots) is_pivot[p] = true;
+    std::vector<Vec> basis;
+    for (std::size_t free_col = 0; free_col < m.cols(); ++free_col) {
+      if (is_pivot[free_col]) continue;
+      Vec v(m.cols());
+      v[free_col] = Rational(1);
+      for (std::size_t i = 0; i < rref.pivots.size(); ++i) {
+        v[rref.pivots[i]] = -rref.matrix.At(i, free_col);
+      }
+      basis.push_back(std::move(v));
+    }
+    benchmark::DoNotOptimize(basis);
+  }
+}
+BENCHMARK(BM_NullspaceBigEntriesExact)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_SpanMembershipBigEntries(benchmark::State& state) {
+  Rng rng(41);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<Vec> basis;
+  for (std::size_t i = 0; i + 2 < k; ++i) {
+    Vec v(k);
+    for (std::size_t j = 0; j < k; ++j) v[j] = Rational(RandomBig(&rng, kBigLimbs));
+    basis.push_back(std::move(v));
+  }
+  Vec target = basis[0] + basis[1];  // Inside the span.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TestSpanMembership(basis, target));
+  }
+  state.SetLabel("in-span target, 256-bit entries");
+}
+BENCHMARK(BM_SpanMembershipBigEntries)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_SpanMembershipBigEntriesExact(benchmark::State& state) {
+  Rng rng(41);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<Vec> basis;
+  for (std::size_t i = 0; i + 2 < k; ++i) {
+    Vec v(k);
+    for (std::size_t j = 0; j < k; ++j) v[j] = Rational(RandomBig(&rng, kBigLimbs));
+    basis.push_back(std::move(v));
+  }
+  Vec target = basis[0] + basis[1];
+  for (auto _ : state) {
+    // TestSpanMembership body over the exact reference RREF.
+    Mat columns = Mat::FromColumns(basis);
+    Mat aug(columns.rows(), columns.cols() + 1);
+    for (std::size_t r = 0; r < columns.rows(); ++r) {
+      for (std::size_t c = 0; c < columns.cols(); ++c) {
+        aug.At(r, c) = columns.At(r, c);
+      }
+      aug.At(r, columns.cols()) = target[r];
+    }
+    benchmark::DoNotOptimize(ReduceToRrefExact(std::move(aug)));
+  }
+}
+BENCHMARK(BM_SpanMembershipBigEntriesExact)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_DeterminantBigEntries(benchmark::State& state) {
+  Rng rng(43);
+  Mat m = RandomBigMatrix(&rng, static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Determinant(m));
+  }
+  state.SetLabel("fraction-free Bareiss");
+}
+BENCHMARK(BM_DeterminantBigEntries)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_DeterminantBigEntriesExact(benchmark::State& state) {
+  Rng rng(43);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Mat m = RandomBigMatrix(&rng, n, n);
+  for (auto _ : state) {
+    // The seed's plain elimination over Q.
+    Mat a = m;
+    Rational det(1);
+    for (std::size_t col = 0; col < n; ++col) {
+      std::size_t found = n;
+      for (std::size_t r = col; r < n; ++r) {
+        if (!a.At(r, col).IsZero()) {
+          found = r;
+          break;
+        }
+      }
+      if (found == n) {
+        det = Rational(0);
+        break;
+      }
+      if (found != col) {
+        a.SwapRows(found, col);
+        det = -det;
+      }
+      det *= a.At(col, col);
+      Rational inv = a.At(col, col).Inverse();
+      for (std::size_t r = col + 1; r < n; ++r) {
+        Rational factor = a.At(r, col) * inv;
+        if (factor.IsZero()) continue;
+        for (std::size_t c = col; c < n; ++c) {
+          a.At(r, c) -= factor * a.At(col, c);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(det);
+  }
+  state.SetLabel("plain elimination over Q");
+}
+BENCHMARK(BM_DeterminantBigEntriesExact)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_IsNonsingularBigEntries(benchmark::State& state) {
+  Rng rng(47);
+  Mat m = RandomBigMatrix(&rng, static_cast<std::size_t>(state.range(0)),
+                          static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsNonsingular(m));
+  }
+  state.SetLabel("single-prime det probe");
+}
+BENCHMARK(BM_IsNonsingularBigEntries)->Arg(4)->Arg(8)->Arg(12);
 
 }  // namespace
 }  // namespace bagdet

@@ -44,8 +44,18 @@ Structure InducedSubstructure(const Structure& s, std::uint64_t mask) {
 namespace {
 
 bool Distinguishes(const Structure& a, const Structure& b,
-                   const Structure& candidate, HomCache* cache) {
-  if (cache != nullptr) {
+                   const Structure& candidate,
+                   const DistinguisherOptions& options,
+                   bool candidate_already_interned = false) {
+  // Sweep candidates above the interning threshold bypass the cache
+  // entirely (transient counts, no canonicalization, no pool retention) —
+  // see DistinguisherOptions::max_cached_candidate_domain. Tier-0
+  // candidates (the inputs themselves) are exempt: the isomorphism
+  // pre-check interned them already, so caching their counts is pure win.
+  HomCache* cache = options.hom_cache;
+  if (cache != nullptr &&
+      (candidate_already_interned ||
+       candidate.DomainSize() <= options.max_cached_candidate_domain)) {
     return cache->Count(a, candidate) != cache->Count(b, candidate);
   }
   return CountHoms(a, candidate) != CountHoms(b, candidate);
@@ -63,8 +73,9 @@ std::optional<Structure> FindDistinguisher(const Structure& a,
     return std::nullopt;
   }
   // Tier 0: the structures themselves (frequent cheap winners).
-  if (Distinguishes(a, b, a, cache)) return a;
-  if (Distinguishes(a, b, b, cache)) return b;
+  const bool interned = cache != nullptr;
+  if (Distinguishes(a, b, a, options, interned)) return a;
+  if (Distinguishes(a, b, b, options, interned)) return b;
   // Tier 1: the complete induced-substructure family (see header). The
   // sweep mask is 64-bit, so domains of 64+ elements fall through to the
   // random tier regardless of max_subset_domain.
@@ -75,7 +86,7 @@ std::optional<Structure> FindDistinguisher(const Structure& a,
     const std::uint64_t limit = 1ull << side->DomainSize();
     for (std::uint64_t mask = 0; mask < limit; ++mask) {
       Structure candidate = InducedSubstructure(*side, mask);
-      if (Distinguishes(a, b, candidate, cache)) return candidate;
+      if (Distinguishes(a, b, candidate, options)) return candidate;
     }
     // Both sweeps completing without a hit is impossible for non-isomorphic
     // inputs (see the header's completeness argument), so reaching the end
@@ -91,7 +102,7 @@ std::optional<Structure> FindDistinguisher(const Structure& a,
   for (int attempt = 0; attempt < options.random_attempts; ++attempt) {
     std::size_t domain = 1 + rng.Below(options.max_random_domain);
     Structure candidate = RandomStructure(a.schema_ptr(), domain, &rng);
-    if (Distinguishes(a, b, candidate, cache)) return candidate;
+    if (Distinguishes(a, b, candidate, options)) return candidate;
   }
   throw std::runtime_error(
       "FindDistinguisher: inputs exceed max_subset_domain and random search "

@@ -44,6 +44,15 @@ struct DistinguisherOptions {
   /// count is cached — candidates repeat heavily across the pairwise Step-1
   /// loop of BuildGoodBasis. Not owned; must outlive the search.
   HomCache* hom_cache = nullptr;
+  /// Candidate-size cutoff for routing sweep candidates through the cache:
+  /// only candidates with at most this many domain elements are
+  /// canonicalized and retained in the cache's StructurePool. Small
+  /// candidates repeat across pairs and amortize their labeling cost;
+  /// large one-shot candidates (automorphism-sparse inputs distinguishing
+  /// late in the sweep) would pay canonical labeling plus permanent pool
+  /// retention for a count that is never reused — they use transient
+  /// counts exactly like the seed path.
+  std::size_t max_cached_candidate_domain = 10;
 };
 
 /// Finds a structure H with |hom(a, H)| ≠ |hom(b, H)|.

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/hash.h"
+
 namespace bagdet {
 
 namespace {
@@ -124,6 +126,17 @@ std::vector<BigInt> Theorem2Reduction::EvaluateViews(
   values.reserve(views.size());
   for (const UnionQuery& view : views) values.push_back(view.Count(data));
   return values;
+}
+
+std::uint64_t CountVectorFingerprint(const std::vector<BigInt>& counts) {
+  // Largest prime below 2^62 — the head of the modular layer's prime
+  // sequence (linalg/modular_solve.cpp).
+  constexpr std::uint64_t kPrime = 4611686018427387847ull;
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ counts.size();
+  for (const BigInt& count : counts) {
+    h = MixHash(h, count.Mod(kPrime));
+  }
+  return h;
 }
 
 }  // namespace bagdet

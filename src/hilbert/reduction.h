@@ -55,6 +55,15 @@ struct Theorem2Reduction {
   std::vector<BigInt> EvaluateViews(const Structure& data) const;
 };
 
+/// 64-bit fingerprint of a view-count vector: each count reduced modulo a
+/// fixed 62-bit prime (BigInt::Mod residue extraction, the same primitive
+/// the modular linear-algebra layer uses) and hash-combined in order.
+/// Equal vectors have equal fingerprints, so the quadratic witness scan in
+/// SearchNonDeterminacy can compare fingerprints before any exact BigInt
+/// comparison — the modular probe-before-exact-work pattern applied to the
+/// Hilbert layer's reduction counts.
+std::uint64_t CountVectorFingerprint(const std::vector<BigInt>& counts);
+
 /// Runs the reduction on an instance.
 Theorem2Reduction ReduceToDeterminacy(const DiophantineInstance& instance);
 

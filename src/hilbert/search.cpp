@@ -23,6 +23,7 @@ std::optional<NonDeterminacyWitness> SearchNonDeterminacy(
     bool has_c;
     std::vector<std::uint64_t> x_counts;
     std::vector<BigInt> views;
+    std::uint64_t views_fingerprint;  ///< Modular probe for the scan below.
     BigInt query;
   };
   std::vector<Entry> entries;
@@ -36,6 +37,7 @@ std::optional<NonDeterminacyWitness> SearchNonDeterminacy(
         entry.has_c = c == 1;
         entry.x_counts = x_counts;
         entry.views = reduction.EvaluateViews(d);
+        entry.views_fingerprint = CountVectorFingerprint(entry.views);
         entry.query = reduction.query.Count(d);
         entries.push_back(std::move(entry));
       }
@@ -44,6 +46,11 @@ std::optional<NonDeterminacyWitness> SearchNonDeterminacy(
 
   for (std::size_t i = 0; i < entries.size(); ++i) {
     for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      // Word-size modular fingerprints first; the exact BigInt vector
+      // comparison only runs on a fingerprint collision.
+      if (entries[i].views_fingerprint != entries[j].views_fingerprint) {
+        continue;
+      }
       if (entries[i].views != entries[j].views) continue;
       if (entries[i].query == entries[j].query) continue;
       NonDeterminacyWitness witness;

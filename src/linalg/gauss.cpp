@@ -1,6 +1,9 @@
 #include "linalg/gauss.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "linalg/modular_solve.h"
 
 namespace bagdet {
 
@@ -13,9 +16,21 @@ std::size_t RationalBitLength(const Rational& value) {
   return value.numerator().BitLength() + value.denominator().BitLength();
 }
 
+/// The modular driver pays a fixed cost (prime setup, residue extraction,
+/// verification); below a 3×3 the exact elimination is trivially cheap and
+/// always wins.
+bool UseModularPath(const Mat& m) { return m.rows() >= 3 && m.cols() >= 3; }
+
 }  // namespace
 
 Rref ReduceToRref(Mat m) {
+  if (UseModularPath(m)) {
+    if (std::optional<Rref> fast = TryModularRref(m)) return std::move(*fast);
+  }
+  return ReduceToRrefExact(std::move(m));
+}
+
+Rref ReduceToRrefExact(Mat m) {
   Rref result;
   const std::size_t rows = m.rows();
   const std::size_t cols = m.cols();
@@ -35,11 +50,7 @@ Rref ReduceToRref(Mat m) {
       }
     }
     if (found == rows) continue;
-    if (found != pivot_row) {
-      for (std::size_t c = 0; c < cols; ++c) {
-        std::swap(m.At(found, c), m.At(pivot_row, c));
-      }
-    }
+    m.SwapRows(found, pivot_row);
     Rational inv = m.At(pivot_row, col).Inverse();
     for (std::size_t c = col; c < cols; ++c) m.At(pivot_row, c) *= inv;
     for (std::size_t r = 0; r < rows; ++r) {
@@ -58,10 +69,29 @@ Rref ReduceToRref(Mat m) {
   return result;
 }
 
-std::size_t Rank(const Mat& m) { return ReduceToRref(m).rank; }
+std::size_t Rank(const Mat& m) {
+  if (UseModularPath(m)) {
+    // A single-prime elimination gives a certified lower bound; when it
+    // saturates min(rows, cols) the exact rank is known with no exact
+    // arithmetic at all (the common case for the pipeline's full-rank
+    // evaluation matrices).
+    const std::size_t max_rank = std::min(m.rows(), m.cols());
+    std::optional<std::size_t> probe = ModularRankLowerBound(m);
+    if (probe.has_value() && *probe == max_rank) return max_rank;
+    if (std::optional<Rref> fast = TryModularRref(m)) return fast->rank;
+  }
+  return ReduceToRrefExact(m).rank;
+}
 
 bool IsNonsingular(const Mat& m) {
-  return m.rows() == m.cols() && Rank(m) == m.rows();
+  if (m.rows() != m.cols()) return false;
+  if (UseModularPath(m)) {
+    // det(A) mod p != 0 certifies nonsingularity outright; otherwise fall
+    // through to the certified rank (which itself starts modular).
+    std::optional<bool> probe = ModularNonsingularProbe(m);
+    if (probe.has_value()) return *probe;
+  }
+  return Rank(m) == m.rows();
 }
 
 Rational Determinant(Mat m) {
@@ -69,6 +99,20 @@ Rational Determinant(Mat m) {
     throw std::invalid_argument("Determinant: matrix not square");
   }
   const std::size_t n = m.rows();
+  // Dense-integer case: fraction-free Bareiss keeps every intermediate a
+  // minor-bounded integer instead of a churning rational.
+  if (n >= 2) {
+    bool integral = true;
+    for (std::size_t r = 0; r < n && integral; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!m.At(r, c).IsInteger()) {
+          integral = false;
+          break;
+        }
+      }
+    }
+    if (integral) return DeterminantBareiss(m);
+  }
   Rational det(1);
   for (std::size_t col = 0; col < n; ++col) {
     std::size_t found = n;
@@ -80,7 +124,7 @@ Rational Determinant(Mat m) {
     }
     if (found == n) return Rational(0);
     if (found != col) {
-      for (std::size_t c = 0; c < n; ++c) std::swap(m.At(found, c), m.At(col, c));
+      m.SwapRows(found, col);
       det = -det;
     }
     det *= m.At(col, col);
@@ -105,7 +149,13 @@ std::optional<Mat> Inverse(const Mat& m) {
     for (std::size_t c = 0; c < n; ++c) aug.At(r, c) = m.At(r, c);
     aug.At(r, n + r) = Rational(1);
   }
-  Rref rref = ReduceToRref(std::move(aug));
+  // Deliberately exact: the inverse's n² output entries are all dense
+  // n×n-minor ratios, so the modular lift + exact verification costs as
+  // much as the elimination it replaces (measured ~2x slower from n=4
+  // small entries to n=16 radix-sized entries — see BENCH_linalg.json).
+  // The modular fast path pays off when the answer is *smaller* than the
+  // work (ranks, span tests, low-rank kernels), not for dense inverses.
+  Rref rref = ReduceToRrefExact(std::move(aug));
   if (rref.rank < n || rref.pivots[n - 1] >= n) return std::nullopt;
   Mat inverse(n, n);
   for (std::size_t r = 0; r < n; ++r) {

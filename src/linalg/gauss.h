@@ -1,6 +1,20 @@
 // bagdet: exact Gaussian elimination and the linear-algebra facts the paper
 // relies on (Fact 5: orthogonal witnesses; Lemma 46: Vandermonde
 // nonsingularity; span tests behind the Main Lemma 31).
+//
+// Modular dispatch: ReduceToRref, Rank, and IsNonsingular route through
+// the certified multi-modular driver (linalg/modular_solve.h) whenever the
+// matrix is big enough to benefit, falling back to plain exact elimination
+// when the driver declines (unlucky primes, exhausted prime budget).
+// Results are bit-for-bit identical either way — the driver verifies every
+// lifted answer exactly before returning it. SolveLinearSystem,
+// NullspaceBasis, TestSpanMembership, and OrthogonalWitness inherit the
+// fast path through ReduceToRref; Determinant uses fraction-free Bareiss
+// elimination for the dense-integer case. Inverse deliberately stays on
+// the exact path: its dense minor-sized output makes the modular lift
+// cost as much as the elimination it replaces (see the comment in
+// Inverse). ReduceToRrefExact is the always-exact reference
+// implementation (also the differential-test and benchmarking baseline).
 
 #ifndef BAGDET_LINALG_GAUSS_H_
 #define BAGDET_LINALG_GAUSS_H_
@@ -19,8 +33,13 @@ struct Rref {
   std::size_t rank = 0;
 };
 
-/// Reduced row echelon form via exact fraction arithmetic.
+/// Reduced row echelon form (modular fast path + exact fallback; see the
+/// file comment).
 Rref ReduceToRref(Mat m);
+
+/// Reduced row echelon form via exact fraction arithmetic only — the
+/// reference path every modular result is pinned against.
+Rref ReduceToRrefExact(Mat m);
 
 /// Rank of a matrix.
 std::size_t Rank(const Mat& m);
@@ -28,10 +47,13 @@ std::size_t Rank(const Mat& m);
 /// True iff the square matrix is nonsingular.
 bool IsNonsingular(const Mat& m);
 
-/// Determinant of a square matrix (Bareiss-free plain elimination over Q).
+/// Determinant of a square matrix. Dispatches to fraction-free Bareiss
+/// elimination (linalg/modular_solve.h) for integer matrices; plain exact
+/// elimination over Q otherwise.
 Rational Determinant(Mat m);
 
 /// Inverse of a square nonsingular matrix; std::nullopt when singular.
+/// Always computed by exact elimination — see the implementation note.
 std::optional<Mat> Inverse(const Mat& m);
 
 /// One solution x of A x = b, or std::nullopt when inconsistent. When the

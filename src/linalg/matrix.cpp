@@ -1,5 +1,6 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -120,6 +121,13 @@ Vec Mat::Col(std::size_t c) const {
 void Mat::SetRow(std::size_t r, const Vec& row) {
   if (row.size() != cols_) throw std::invalid_argument("Mat: row size mismatch");
   for (std::size_t c = 0; c < cols_; ++c) At(r, c) = row[c];
+}
+
+void Mat::SwapRows(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  std::swap_ranges(entries_.begin() + a * cols_,
+                   entries_.begin() + (a + 1) * cols_,
+                   entries_.begin() + b * cols_);
 }
 
 Mat Mat::Transposed() const {

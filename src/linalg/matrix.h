@@ -91,6 +91,16 @@ class Mat {
   Vec Col(std::size_t c) const;
   void SetRow(std::size_t r, const Vec& row);
 
+  /// Swaps two rows of the flat storage by element-wise move (no Rational
+  /// deep copies) — the elimination kernels' pivot swap.
+  void SwapRows(std::size_t a, std::size_t b);
+
+  /// Pre-allocates flat storage for a rows×cols matrix without changing
+  /// the current shape (callers that assemble matrices incrementally).
+  void Reserve(std::size_t rows, std::size_t cols) {
+    entries_.reserve(rows * cols);
+  }
+
   Mat Transposed() const;
 
   friend bool operator==(const Mat& a, const Mat& b) {

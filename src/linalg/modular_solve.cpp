@@ -1,0 +1,406 @@
+#include "linalg/modular_solve.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "linalg/modmat.h"
+#include "util/bigint.h"
+
+namespace bagdet {
+
+namespace {
+
+std::uint64_t MulModU64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t PowModU64(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  a %= m;
+  while (e != 0) {
+    if (e & 1) result = MulModU64(result, a, m);
+    a = MulModU64(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+/// Deterministic Miller–Rabin for 64-bit inputs (the 12-base witness set
+/// is exact for every n < 3.3·10^24).
+bool IsPrimeU64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = PowModU64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 0; i + 1 < r; ++i) {
+      x = MulModU64(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+std::uint64_t PrimeAt(const ModularOptions& options, std::size_t i) {
+  if (options.primes != nullptr) {
+    return i < options.primes->size() ? (*options.primes)[i] : 0;
+  }
+  return ModularPrimes(i + 1)[i];
+}
+
+/// Prime budget covering the worst-case (Hadamard-bounded) RREF entry
+/// size: every RREF entry is a ratio of r×r minors of the
+/// denominator-cleared matrix, so a modulus of twice the minor bit bound
+/// guarantees the rational lift exists. Hitting the budget without a
+/// verified lift then indicates a pathological input rather than normal
+/// operation — and the exact fallback guards correctness regardless, which
+/// is why the budget is also clamped.
+std::size_t AutoPrimeBudget(const Mat& m) {
+  const std::size_t r = std::min(m.rows(), m.cols());
+  std::size_t log_cols = 1;
+  while ((1ull << log_cols) < m.cols() + 1) ++log_cols;
+  // Per-row entry bound after clearing the row's denominators (the lcm
+  // divides the product of the entry denominators).
+  std::vector<std::size_t> row_bits(m.rows(), 0);
+  for (std::size_t row = 0; row < m.rows(); ++row) {
+    std::size_t num_bits = 1;
+    std::size_t den_bits = 0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const Rational& q = m.At(row, c);
+      num_bits = std::max(num_bits, q.numerator().BitLength());
+      if (!q.denominator().IsOne()) den_bits += q.denominator().BitLength();
+    }
+    row_bits[row] = num_bits + den_bits + log_cols;
+  }
+  // A minor uses r rows; bound by the r largest row contributions.
+  std::sort(row_bits.begin(), row_bits.end(), std::greater<std::size_t>());
+  std::size_t minor_bits = 64;
+  for (std::size_t i = 0; i < r; ++i) minor_bits += row_bits[i];
+  const std::size_t budget = (2 * minor_bits) / 61 + 4;
+  return std::min<std::size_t>(std::max<std::size_t>(budget, 8), 1024);
+}
+
+/// Wang's rational reconstruction: the unique n/d with |n|, d <= bound,
+/// gcd(n, d) = 1 and n = residue·d (mod modulus), when one exists.
+std::optional<Rational> ReconstructRational(const BigInt& residue,
+                                            const BigInt& modulus,
+                                            const BigInt& bound) {
+  BigInt a0 = modulus;
+  BigInt a1 = residue;
+  BigInt t0(0);
+  BigInt t1(1);
+  while (a1 > bound) {
+    BigInt q, rem;
+    BigInt::DivMod(a0, a1, &q, &rem);
+    a0 = std::move(a1);
+    a1 = std::move(rem);
+    BigInt t2 = t0 - q * t1;
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  BigInt num = std::move(a1);
+  BigInt den = std::move(t1);
+  if (den.IsZero()) return std::nullopt;
+  if (den.IsNegative()) {
+    num = -num;
+    den = -den;
+  }
+  if (den > bound) return std::nullopt;
+  if (!BigInt::Gcd(num, den).IsOne()) return std::nullopt;
+  return Rational(std::move(num), std::move(den));
+}
+
+/// Exact certificate that `cand` is THE reduced row echelon form of `a`:
+/// with pivots P = cand.pivots, every row of `a` must equal the
+/// combination of candidate pivot rows weighted by its own P-coordinates
+/// (rowspace(a) ⊆ rowspace(cand), hence rank_Q(a) <= rank(cand); the
+/// accumulated primes already certify rank_Q(a) >= rank(cand) via a
+/// nonvanishing minor, and RREF is unique per row space). Pivot columns of
+/// the combination match automatically, so only free columns are checked.
+bool VerifyRrefCandidate(const Mat& a, const Rref& cand,
+                         const std::vector<std::size_t>& free_cols) {
+  const std::size_t rank = cand.rank;
+  std::vector<Rational> coeff(rank);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t i = 0; i < rank; ++i) coeff[i] = a.At(r, cand.pivots[i]);
+    for (std::size_t c : free_cols) {
+      Rational sum;
+      for (std::size_t i = 0; i < rank; ++i) {
+        if (coeff[i].IsZero()) continue;
+        const Rational& entry = cand.matrix.At(i, c);
+        if (entry.IsZero()) continue;
+        sum += coeff[i] * entry;
+      }
+      if (sum != a.At(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::uint64_t>& ModularPrimes(std::size_t count) {
+  // Seeded with the 40 largest primes below 2^62 and extended downward on
+  // demand. Extension is mutex-guarded; concurrent extension while a
+  // caller still reads a previously returned reference is not supported
+  // (the pipeline drives linear algebra from a single thread).
+  static std::mutex mu;
+  static std::vector<std::uint64_t> primes = {
+      4611686018427387847ull, 4611686018427387817ull, 4611686018427387787ull,
+      4611686018427387761ull, 4611686018427387751ull, 4611686018427387737ull,
+      4611686018427387733ull, 4611686018427387709ull, 4611686018427387701ull,
+      4611686018427387631ull, 4611686018427387617ull, 4611686018427387587ull,
+      4611686018427387461ull, 4611686018427387421ull, 4611686018427387409ull,
+      4611686018427387329ull, 4611686018427387323ull, 4611686018427387301ull,
+      4611686018427387271ull, 4611686018427387241ull, 4611686018427387139ull,
+      4611686018427387131ull, 4611686018427387127ull, 4611686018427387113ull,
+      4611686018427387091ull, 4611686018427387073ull, 4611686018427386981ull,
+      4611686018427386923ull, 4611686018427386911ull, 4611686018427386903ull,
+      4611686018427386897ull, 4611686018427386887ull, 4611686018427386707ull,
+      4611686018427386663ull, 4611686018427386611ull, 4611686018427386551ull,
+      4611686018427386471ull, 4611686018427386389ull, 4611686018427386351ull,
+      4611686018427386329ull};
+  std::lock_guard<std::mutex> lock(mu);
+  std::uint64_t candidate = primes.back() - 2;
+  while (primes.size() < count) {
+    while (!IsPrimeU64(candidate)) candidate -= 2;
+    primes.push_back(candidate);
+    candidate -= 2;
+  }
+  return primes;
+}
+
+std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  if (rows == 0 || cols == 0) {
+    Rref trivial;
+    trivial.matrix = m;
+    return trivial;
+  }
+  std::size_t budget =
+      options.max_primes != 0 ? options.max_primes : AutoPrimeBudget(m);
+  if (options.primes != nullptr) {
+    budget = std::min(budget, options.primes->size());
+  }
+
+  // Consensus across primes: (rank, pivots) signature plus CRT-combined
+  // residues of the nontrivial RREF block (pivot rows × free columns).
+  // Unlucky primes can only lose rank or push pivots later, so "max rank,
+  // then lexicographically smallest pivots" keeps the true signature as
+  // soon as one good prime appears; the exact verification below is the
+  // final arbiter either way.
+  bool have_consensus = false;
+  std::vector<std::size_t> pivots;
+  std::size_t rank = 0;
+  std::vector<std::size_t> free_cols;
+  BigInt modulus(1);
+  std::vector<BigInt> residues;
+  std::size_t used = 0;
+  std::size_t next_attempt = 1;
+  std::size_t last_attempt_used = 0;
+
+  // Lift: rational reconstruction of every nontrivial entry, then the
+  // exact residual certificate. A failed lift just means "not enough
+  // primes yet".
+  auto attempt_lift = [&]() -> std::optional<Rref> {
+    last_attempt_used = used;
+    const BigInt bound =
+        BigInt::FloorKthRoot((modulus - BigInt(1)) / BigInt(2), 2);
+    std::vector<Rational> values(residues.size());
+    for (std::size_t i = 0; i < residues.size(); ++i) {
+      std::optional<Rational> q =
+          ReconstructRational(residues[i], modulus, bound);
+      if (!q.has_value()) return std::nullopt;
+      values[i] = std::move(*q);
+    }
+    Rref cand;
+    cand.matrix = Mat(rows, cols);
+    cand.pivots = pivots;
+    cand.rank = rank;
+    for (std::size_t i = 0; i < rank; ++i) {
+      cand.matrix.At(i, pivots[i]) = Rational(1);
+      for (std::size_t j = 0; j < free_cols.size(); ++j) {
+        cand.matrix.At(i, free_cols[j]) =
+            std::move(values[i * free_cols.size() + j]);
+      }
+    }
+    if (!VerifyRrefCandidate(m, cand, free_cols)) return std::nullopt;
+    return cand;
+  };
+
+  for (std::size_t pi = 0; pi < budget; ++pi) {
+    const std::uint64_t p = PrimeAt(options, pi);
+    if (p == 0) break;  // Injected prime list exhausted.
+    Zp zp(p);
+    std::optional<ModMat> mm = ModMat::FromRationalMat(&zp, m);
+    if (!mm.has_value()) continue;  // p divides a denominator.
+    ModRref mr = mm->RrefInPlace();
+
+    const bool adopt =
+        !have_consensus || mr.rank > rank ||
+        (mr.rank == rank && mr.pivots < pivots);
+    if (adopt) {
+      have_consensus = true;
+      rank = mr.rank;
+      pivots = mr.pivots;
+      free_cols.clear();
+      std::size_t next_pivot = 0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (next_pivot < pivots.size() && pivots[next_pivot] == c) {
+          ++next_pivot;
+        } else {
+          free_cols.push_back(c);
+        }
+      }
+      modulus = BigInt(static_cast<std::int64_t>(p));
+      residues.assign(rank * free_cols.size(), BigInt(0));
+      for (std::size_t i = 0; i < rank; ++i) {
+        for (std::size_t j = 0; j < free_cols.size(); ++j) {
+          residues[i * free_cols.size() + j] = BigInt(
+              static_cast<std::int64_t>(zp.From(mm->At(i, free_cols[j]))));
+        }
+      }
+      used = 1;
+      next_attempt = 1;
+    } else if (mr.rank == rank && mr.pivots == pivots) {
+      // CRT-combine this prime into the accumulated residues.
+      const std::uint64_t m_mod_p = modulus.Mod(p);
+      const std::uint64_t inv_m = zp.From(zp.Inv(zp.To(m_mod_p)));
+      for (std::size_t i = 0; i < rank; ++i) {
+        for (std::size_t j = 0; j < free_cols.size(); ++j) {
+          BigInt& x = residues[i * free_cols.size() + j];
+          const std::uint64_t v = zp.From(mm->At(i, free_cols[j]));
+          const std::uint64_t x_mod_p = x.Mod(p);
+          const std::uint64_t delta = v >= x_mod_p ? v - x_mod_p
+                                                   : v + p - x_mod_p;
+          const std::uint64_t t = MulModU64(delta, inv_m, p);
+          x += modulus * BigInt(static_cast<std::int64_t>(t));
+        }
+      }
+      modulus *= BigInt(static_cast<std::int64_t>(p));
+      ++used;
+    } else {
+      continue;  // Strictly worse signature: provably unlucky prime.
+    }
+
+    // Geometric attempt schedule (the Euclid passes stay a small fraction
+    // of the total work) — but always attempt on the last prime of the
+    // budget, so a modulus that only just got large enough is not wasted.
+    if (used < next_attempt && pi + 1 < budget) continue;
+    if (std::optional<Rref> cand = attempt_lift()) return cand;
+    next_attempt = used + 1 + used / 2;
+  }
+  // The loop can end without a lift at the final accumulated modulus: the
+  // last primes of the budget may all have been skipped (vanished
+  // denominator, worse signature) or an injected list may have run dry.
+  // One closing attempt salvages whatever the consensus already holds.
+  if (have_consensus && used > last_attempt_used) {
+    if (std::optional<Rref> cand = attempt_lift()) return cand;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> ModularRankLowerBound(const Mat& m,
+                                                const ModularOptions& options) {
+  if (m.rows() == 0 || m.cols() == 0) return 0;
+  const std::size_t attempts =
+      options.max_primes != 0 ? options.max_primes : 4;
+  for (std::size_t pi = 0; pi < attempts; ++pi) {
+    const std::uint64_t p = PrimeAt(options, pi);
+    if (p == 0) break;
+    Zp zp(p);
+    std::optional<ModMat> mm = ModMat::FromRationalMat(&zp, m);
+    if (!mm.has_value()) continue;
+    return mm->RankDestructive();
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> ModularNonsingularProbe(const Mat& m,
+                                            const ModularOptions& options) {
+  if (m.rows() != m.cols() || m.rows() == 0) return std::nullopt;
+  const std::size_t attempts =
+      options.max_primes != 0 ? options.max_primes : 2;
+  for (std::size_t pi = 0; pi < attempts; ++pi) {
+    const std::uint64_t p = PrimeAt(options, pi);
+    if (p == 0) break;
+    Zp zp(p);
+    std::optional<ModMat> mm = ModMat::FromRationalMat(&zp, m);
+    if (!mm.has_value()) continue;
+    if (mm->DeterminantDestructive() != 0) return true;
+  }
+  return std::nullopt;  // Singular, or every probed prime was unlucky.
+}
+
+Rational DeterminantBareiss(const Mat& m) {
+  const std::size_t n = m.rows();
+  if (n == 0) return Rational(1);
+
+  // Clear each row's denominators; det(A) = det(cleared) / Π row_lcm.
+  std::vector<BigInt> a(n * n);
+  BigInt denominator_product(1);
+  for (std::size_t r = 0; r < n; ++r) {
+    BigInt lcm(1);
+    for (std::size_t c = 0; c < n; ++c) {
+      const BigInt& d = m.At(r, c).denominator();
+      if (d.IsOne()) continue;
+      lcm = lcm / BigInt::Gcd(lcm, d) * d;
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      const Rational& q = m.At(r, c);
+      a[r * n + c] = q.numerator() * (lcm / q.denominator());
+    }
+    denominator_product *= lcm;
+  }
+
+  // One-step Bareiss: every division is exact, and intermediates are
+  // bounded by minors of the cleared matrix.
+  BigInt prev(1);
+  bool negate = false;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    std::size_t pivot = n;
+    for (std::size_t r = k; r < n; ++r) {
+      if (!a[r * n + k].IsZero()) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == n) return Rational(0);
+    if (pivot != k) {
+      std::swap_ranges(a.begin() + pivot * n, a.begin() + (pivot + 1) * n,
+                       a.begin() + k * n);
+      negate = !negate;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j < n; ++j) {
+        BigInt value = a[i * n + j] * a[k * n + k] - a[i * n + k] * a[k * n + j];
+        BigInt quotient, remainder;
+        BigInt::DivMod(value, prev, &quotient, &remainder);
+        a[i * n + j] = std::move(quotient);
+      }
+      a[i * n + k] = BigInt(0);
+    }
+    prev = a[k * n + k];
+  }
+  BigInt det = std::move(a[n * n - 1]);
+  if (negate) det = -det;
+  return Rational(std::move(det), std::move(denominator_product));
+}
+
+}  // namespace bagdet

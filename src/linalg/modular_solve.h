@@ -1,0 +1,81 @@
+// bagdet: certified multi-modular linear algebra driver.
+//
+// The exact elimination in linalg/gauss.cpp stays the semantic ground
+// truth, but its intermediate rationals blow up super-linearly when the
+// matrix entries are the pipeline's astronomically large hom counts. The
+// driver here computes the same answers the fast way computer-algebra
+// systems do:
+//
+//   1. eliminate over Z/p for one or more 62-bit primes (linalg/modmat.h),
+//   2. combine residues by CRT and lift to Q by rational reconstruction
+//      (Wang's algorithm),
+//   3. **verify the lifted answer exactly** — a per-row residual check
+//      plus the mod-p rank lower bound pins the unique rational RREF —
+//   4. and report failure (unlucky primes, prime budget exhausted) so the
+//      caller can fall back to plain exact elimination.
+//
+// Every result returned here is therefore bit-for-bit identical to the
+// exact path; speed never trades against the paper's correctness
+// guarantees. See README.md ("Modular linear algebra") for the design.
+
+#ifndef BAGDET_LINALG_MODULAR_SOLVE_H_
+#define BAGDET_LINALG_MODULAR_SOLVE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "linalg/gauss.h"
+#include "linalg/matrix.h"
+
+namespace bagdet {
+
+/// Tuning knobs for the modular driver. Defaults are production settings;
+/// the prime-injection seam exists for tests (forcing unlucky primes) and
+/// benchmarks (pinning prime counts).
+struct ModularOptions {
+  /// Hard cap on the number of primes tried; 0 means "auto": enough
+  /// primes that the CRT modulus provably covers the worst-case RREF
+  /// entry size for the given matrix (then reconstruction failure implies
+  /// a logic error, and the exact fallback still guards the result).
+  std::size_t max_primes = 0;
+  /// When set, primes are drawn from this list (in order) instead of the
+  /// built-in 62-bit prime sequence. Entries must be odd primes < 2^62.
+  const std::vector<std::uint64_t>* primes = nullptr;
+};
+
+/// First `count` primes of the built-in sequence (largest primes below
+/// 2^62, descending), extending the table on demand.
+const std::vector<std::uint64_t>& ModularPrimes(std::size_t count);
+
+/// Multi-modular RREF with certified rational reconstruction. Returns the
+/// exact reduced row echelon form (identical to ReduceToRrefExact) or
+/// std::nullopt when verification never succeeds within the prime budget.
+std::optional<Rref> TryModularRref(const Mat& m,
+                                   const ModularOptions& options = {});
+
+/// Single-prime rank probe. rank_p(A) <= rank_Q(A) for every prime that
+/// does not divide a denominator, so the returned value is a *certified
+/// lower bound* on the exact rank — and when it reaches min(rows, cols)
+/// the exact rank is known without any exact arithmetic. Returns
+/// std::nullopt when no usable prime is found (denominators vanish).
+std::optional<std::size_t> ModularRankLowerBound(
+    const Mat& m, const ModularOptions& options = {});
+
+/// Single-prime nonsingularity probe for a square matrix: det(A) mod p
+/// being nonzero certifies det(A) != 0. Returns true on certificate,
+/// std::nullopt when inconclusive (det vanishes mod the probed primes —
+/// either A is singular or the primes are unlucky).
+std::optional<bool> ModularNonsingularProbe(const Mat& m,
+                                            const ModularOptions& options = {});
+
+/// Fraction-free Bareiss determinant: clears row denominators, runs
+/// two-step-exact-division elimination over Z, and rescales. Intermediate
+/// values are bounded by minors of the cleared matrix — no rational
+/// normalization churn. Exact for every input; the preferred path for the
+/// dense-integer matrices the pipeline produces.
+Rational DeterminantBareiss(const Mat& m);
+
+}  // namespace bagdet
+
+#endif  // BAGDET_LINALG_MODULAR_SOLVE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "structs/refinement.h"
+#include "util/hash.h"
 
 namespace bagdet {
 
@@ -21,11 +22,6 @@ std::uint64_t ReadU32(const std::string& bytes, std::size_t offset) {
       (static_cast<unsigned char>(bytes[offset + 1]) << 8) |
       (static_cast<unsigned char>(bytes[offset + 2]) << 16) |
       (static_cast<unsigned char>(bytes[offset + 3]) << 24));
-}
-
-std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  return h;
 }
 
 /// 64-bit digest of the schema (names and arities, in relation-id order),
@@ -49,45 +45,6 @@ std::uint64_t HashBytes(const std::string& bytes) {
     h *= 0x100000001b3ull;
   }
   return h;
-}
-
-/// Refines `colors` to the stable partition, starting from the given
-/// coloring instead of the uniform one (the individualization step of the
-/// search needs this). Same signature construction and canonical
-/// rank-recoloring as RefineColors, so color ids stay isomorphism-invariant
-/// functions of (structure, initial coloring).
-void RefineFrom(const Structure& s, std::vector<std::uint32_t>* colors,
-                std::size_t* num_colors) {
-  const std::size_t n = s.DomainSize();
-  if (n == 0 || *num_colors == n) return;
-  for (std::size_t round = 0; round < n; ++round) {
-    std::vector<std::uint64_t> signature(n);
-    for (std::size_t e = 0; e < n; ++e) {
-      signature[e] = MixHash(0x5bd1e995, (*colors)[e]);
-    }
-    for (RelationId r = 0; r < s.schema().NumRelations(); ++r) {
-      for (const Tuple& t : s.Facts(r)) {
-        std::uint64_t tuple_hash = (static_cast<std::uint64_t>(r) + 1) << 32;
-        for (Element e : t) {
-          tuple_hash = MixHash(tuple_hash, (*colors)[e] + 1);
-        }
-        for (std::size_t pos = 0; pos < t.size(); ++pos) {
-          signature[t[pos]] += MixHash(tuple_hash, pos + 1);
-        }
-      }
-    }
-    std::vector<std::uint64_t> sorted = signature;
-    std::sort(sorted.begin(), sorted.end());
-    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-    for (std::size_t e = 0; e < n; ++e) {
-      (*colors)[e] = static_cast<std::uint32_t>(
-          std::lower_bound(sorted.begin(), sorted.end(), signature[e]) -
-          sorted.begin());
-    }
-    bool stable = sorted.size() == *num_colors;
-    *num_colors = sorted.size();
-    if (stable || *num_colors == n) break;
-  }
 }
 
 /// Serializes the component under the discrete coloring (element e is
@@ -187,9 +144,13 @@ void SearchMinCertificate(const Structure& c,
     explored.push_back(static_cast<Element>(e));
     std::vector<std::uint32_t> branch = colors;
     branch[e] = static_cast<std::uint32_t>(num_colors);  // Individualize.
-    std::size_t branch_colors = num_colors + 1;
-    RefineFrom(c, &branch, &branch_colors);
-    SearchMinCertificate(c, branch, branch_colors, best);
+    // Re-refine from the individualized coloring (the seeded flavor of
+    // RefineColors — same signature construction and rank-recoloring, so
+    // color ids stay isomorphism-invariant functions of the branch).
+    ColorRefinementResult refined =
+        RefineColors(c, &branch, num_colors + 1);
+    SearchMinCertificate(c, refined.color_of_element, refined.num_colors,
+                         best);
   }
 }
 

@@ -3,23 +3,28 @@
 #include <algorithm>
 #include <map>
 
+#include "util/hash.h"
+
 namespace bagdet {
 
-namespace {
-
-std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  return h;
-}
-
-}  // namespace
-
-ColorRefinementResult RefineColors(const Structure& s) {
+ColorRefinementResult RefineColors(const Structure& s,
+                                   const std::vector<std::uint32_t>* seed_colors,
+                                   std::size_t seed_num_colors) {
   const std::size_t n = s.DomainSize();
+  const bool seeded = seed_colors != nullptr;
   ColorRefinementResult result;
-  result.color_of_element.assign(n, 0);
-  result.num_colors = n == 0 ? 0 : 1;
+  if (seeded) {
+    result.color_of_element = *seed_colors;
+    result.num_colors = seed_num_colors;
+  } else {
+    result.color_of_element.assign(n, 0);
+    result.num_colors = n == 0 ? 0 : 1;
+  }
   if (n == 0) return result;
+  // An already-discrete seed cannot refine further; returning unchanged
+  // (instead of re-ranking ids through one more signature round) keeps
+  // the search's leaf labelings identical to the pre-fold behavior.
+  if (seeded && result.num_colors == n) return result;
 
   // Invariant: colors are canonical (depend only on the isomorphism type)
   // because each round's new color is the RANK of the element's signature
@@ -59,14 +64,20 @@ ColorRefinementResult RefineColors(const Structure& s) {
     result.rounds = round + 1;
     last_signature = std::move(signature);
     if (stable) break;
+    // A seeded (search-branch) run stops as soon as the partition is
+    // discrete — one signature round on a discrete coloring cannot merge
+    // classes, and the search only consumes the partition.
+    if (seeded && result.num_colors == n) break;
   }
 
-  // Canonical histogram: (stable signature value, class size), sorted.
-  // Stable signatures are isomorphism-invariant by the rank argument.
-  std::map<std::uint64_t, std::size_t> counts;
-  for (std::size_t e = 0; e < n; ++e) ++counts[last_signature[e]];
-  for (const auto& [sig, count] : counts) {
-    result.histogram.emplace_back(sig, count);
+  if (!seeded) {
+    // Canonical histogram: (stable signature value, class size), sorted.
+    // Stable signatures are isomorphism-invariant by the rank argument.
+    std::map<std::uint64_t, std::size_t> counts;
+    for (std::size_t e = 0; e < n; ++e) ++counts[last_signature[e]];
+    for (const auto& [sig, count] : counts) {
+      result.histogram.emplace_back(sig, count);
+    }
   }
   return result;
 }

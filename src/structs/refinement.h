@@ -30,7 +30,19 @@ struct ColorRefinementResult {
 };
 
 /// Runs color refinement to the stable partition.
-ColorRefinementResult RefineColors(const Structure& s);
+///
+/// With the default (null) seed, refinement starts from the uniform
+/// coloring and the result carries the canonical histogram invariant.
+/// A non-null `seed_colors` (with `seed_num_colors` distinct ids) starts
+/// from that coloring instead — the individualization step of the
+/// canonical-labeling search (structs/canonical.cpp) branches this way —
+/// color ids then stay isomorphism-invariant functions of (structure,
+/// initial coloring). Seeded runs skip the histogram (the search never
+/// reads it) and return unchanged immediately when the seed is already
+/// discrete.
+ColorRefinementResult RefineColors(
+    const Structure& s, const std::vector<std::uint32_t>* seed_colors = nullptr,
+    std::size_t seed_num_colors = 0);
 
 /// True iff the stable histograms differ — a sound (but incomplete)
 /// non-isomorphism check: true implies non-isomorphic.

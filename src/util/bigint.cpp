@@ -535,6 +535,27 @@ BigInt& BigInt::operator%=(const BigInt& other) {
   return *this = std::move(remainder);
 }
 
+std::uint64_t BigInt::Mod(std::uint64_t m) const {
+  if (m == 0 || m >= (1ull << 63)) {
+    throw std::domain_error("BigInt::Mod: modulus must be in (0, 2^63)");
+  }
+  std::uint64_t r;
+  if (IsSmall()) {
+    r = small_ % m;
+  } else {
+    // Little-endian base-2^32 limbs, folded high to low. r < m < 2^63, so
+    // (r << 32 | limb) fits comfortably in 128 bits.
+    r = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      unsigned __int128 acc =
+          (static_cast<unsigned __int128>(r) << 32) | limbs_[i];
+      r = static_cast<std::uint64_t>(acc % m);
+    }
+  }
+  if (negative_ && r != 0) r = m - r;
+  return r;
+}
+
 BigInt BigInt::Gcd(BigInt a, BigInt b) {
   a.negative_ = false;
   b.negative_ = false;

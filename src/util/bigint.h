@@ -91,6 +91,13 @@ class BigInt {
   /// Nonnegative greatest common divisor; Gcd(0, 0) == 0.
   static BigInt Gcd(BigInt a, BigInt b);
 
+  /// Residue of the value modulo a word-size modulus, always in [0, m):
+  /// Mod(-3, 7) == 4. The modular linear-algebra fast path extracts one
+  /// residue per prime from every matrix entry, so this walks the limbs
+  /// directly instead of routing through a BigInt division. Requires
+  /// 0 < m < 2^63; throws std::domain_error otherwise.
+  std::uint64_t Mod(std::uint64_t m) const;
+
   /// `base` raised to `exponent` (exponent >= 0). Pow(0, 0) == 1, matching
   /// the paper's convention 0^0 = 1.
   static BigInt Pow(const BigInt& base, std::uint64_t exponent);

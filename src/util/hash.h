@@ -1,0 +1,22 @@
+// bagdet: shared hash-combining primitive.
+//
+// One home for the boost-style 64-bit mix used by color refinement,
+// canonical-certificate assembly, and the Hilbert layer's count-vector
+// fingerprints, so the mixing shape cannot silently diverge between them.
+
+#ifndef BAGDET_UTIL_HASH_H_
+#define BAGDET_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace bagdet {
+
+/// Combines `v` into the running hash `h` (order-sensitive).
+inline std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace bagdet
+
+#endif  // BAGDET_UTIL_HASH_H_

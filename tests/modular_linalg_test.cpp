@@ -1,0 +1,399 @@
+// Differential suite for the certified multi-modular linear algebra
+// driver (linalg/modular_solve.h): the modular fast path must return
+// results bit-for-bit identical to plain exact elimination on every input
+// — random dense, singular, underdetermined, huge-entry, rational, and
+// adversarial unlucky-prime matrices — and must decline (so the caller
+// falls back to the exact path) when it is fed only bad primes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/gauss.h"
+#include "linalg/matrix.h"
+#include "linalg/modmat.h"
+#include "linalg/modular_solve.h"
+#include "util/bigint.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+Rational Q(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+// The head of the driver's built-in prime sequence.
+constexpr std::uint64_t kFirstPrime = 4611686018427387847ull;
+
+BigInt RandomBig(Rng* rng, int limbs) {
+  BigInt x(0);
+  const BigInt base(static_cast<std::int64_t>(1) << 32);
+  for (int i = 0; i < limbs; ++i) {
+    x = x * base + BigInt(static_cast<std::int64_t>(rng->Below(1ull << 32)));
+  }
+  return x;
+}
+
+/// The six entry/shape regimes the suite sweeps. Every regime includes
+/// rank-deficient shapes (wide/tall dims) by construction.
+enum class Regime {
+  kSmallInt,        // Dense entries in [-9, 9].
+  kSmallRational,   // Entries a/b with small a, b.
+  kHugeInt,         // 128–256 bit hom-count-sized integer entries.
+  kLowRank,         // Product of thin factors: provably singular.
+  kHugeLowRank,     // Rank-deficient AND huge: the lift reconstructs
+                    // genuinely large rationals (not just an identity).
+  kDuplicatedRows,  // Underdetermined: repeated/scaled rows.
+  kUnluckyPrime,    // Every entry divisible by the driver's first prime.
+};
+
+Mat RandomMatrixFor(Regime regime, Rng* rng) {
+  const std::size_t rows = 1 + rng->Below(7);
+  const std::size_t cols = 1 + rng->Below(7);
+  Mat m(rows, cols);
+  switch (regime) {
+    case Regime::kSmallInt:
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          m.At(r, c) = Q(rng->Range(-9, 9));
+        }
+      }
+      break;
+    case Regime::kSmallRational:
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          m.At(r, c) = Q(rng->Range(-12, 12), rng->Range(1, 12));
+        }
+      }
+      break;
+    case Regime::kHugeInt:
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          BigInt v = RandomBig(rng, 4 + static_cast<int>(rng->Below(5)));
+          if (rng->Chance(1, 2)) v = -v;
+          m.At(r, c) = Rational(std::move(v));
+        }
+      }
+      break;
+    case Regime::kLowRank: {
+      const std::size_t inner = 1 + rng->Below(3);  // rank <= inner.
+      Mat left(rows, inner);
+      Mat right(inner, cols);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < inner; ++c) {
+          left.At(r, c) = Q(rng->Range(-5, 5));
+        }
+      }
+      for (std::size_t r = 0; r < inner; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          right.At(r, c) = Q(rng->Range(-5, 5));
+        }
+      }
+      m = left.Multiply(right);
+      break;
+    }
+    case Regime::kHugeLowRank: {
+      const std::size_t inner = 1 + rng->Below(2);
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (r < inner) {
+          for (std::size_t c = 0; c < cols; ++c) {
+            BigInt v = RandomBig(rng, 4 + static_cast<int>(rng->Below(4)));
+            if (rng->Chance(1, 2)) v = -v;
+            m.At(r, c) = Rational(std::move(v));
+          }
+        } else {
+          for (std::size_t c = 0; c < cols; ++c) {
+            Rational sum;
+            for (std::size_t i = 0; i < inner; ++i) {
+              sum += m.At(i, c) * Q(rng->Range(-3, 3));
+            }
+            m.At(r, c) = sum;
+          }
+        }
+      }
+      break;
+    }
+    case Regime::kDuplicatedRows:
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (r > 0 && rng->Chance(1, 2)) {
+          const std::size_t src = rng->Below(r);
+          const Rational scale = Q(rng->Range(-3, 3));
+          for (std::size_t c = 0; c < cols; ++c) {
+            m.At(r, c) = m.At(src, c) * scale;
+          }
+        } else {
+          for (std::size_t c = 0; c < cols; ++c) {
+            m.At(r, c) = Q(rng->Range(-6, 6));
+          }
+        }
+      }
+      break;
+    case Regime::kUnluckyPrime: {
+      // Residue matrix is identically zero mod the first prime; the
+      // consensus logic must discard it once a later prime shows rank.
+      const Rational p(BigInt(static_cast<std::int64_t>(kFirstPrime)));
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          m.At(r, c) = p * Q(rng->Range(-4, 4));
+        }
+      }
+      break;
+    }
+  }
+  return m;
+}
+
+void ExpectRrefEqual(const Rref& a, const Rref& b) {
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.pivots, b.pivots);
+  EXPECT_EQ(a.matrix, b.matrix);
+}
+
+TEST(ModularDifferentialTest, PinsExactRrefOn420RandomMatrices) {
+  const Regime regimes[] = {Regime::kSmallInt,       Regime::kSmallRational,
+                            Regime::kHugeInt,        Regime::kLowRank,
+                            Regime::kHugeLowRank,    Regime::kDuplicatedRows,
+                            Regime::kUnluckyPrime};
+  Rng rng(20260729);
+  int modular_successes = 0;
+  for (const Regime regime : regimes) {
+    for (int i = 0; i < 60; ++i) {
+      Mat m = RandomMatrixFor(regime, &rng);
+      Rref exact = ReduceToRrefExact(m);
+      std::optional<Rref> fast = TryModularRref(m);
+      ASSERT_TRUE(fast.has_value())
+          << "modular driver declined on regime "
+          << static_cast<int>(regime) << " case " << i;
+      ++modular_successes;
+      ExpectRrefEqual(*fast, exact);
+      // The public dispatching entry point must agree as well.
+      ExpectRrefEqual(ReduceToRref(m), exact);
+    }
+  }
+  EXPECT_EQ(modular_successes, 420);
+}
+
+TEST(ModularDifferentialTest, RankAndNonsingularAgreeWithExact) {
+  const Regime regimes[] = {Regime::kSmallInt, Regime::kLowRank,
+                            Regime::kHugeInt, Regime::kHugeLowRank,
+                            Regime::kUnluckyPrime};
+  Rng rng(42);
+  for (const Regime regime : regimes) {
+    for (int i = 0; i < 25; ++i) {
+      Mat m = RandomMatrixFor(regime, &rng);
+      const std::size_t exact_rank = ReduceToRrefExact(m).rank;
+      EXPECT_EQ(Rank(m), exact_rank);
+      if (m.rows() == m.cols()) {
+        EXPECT_EQ(IsNonsingular(m), exact_rank == m.rows());
+      }
+      std::optional<std::size_t> probe = ModularRankLowerBound(m);
+      if (probe.has_value()) EXPECT_LE(*probe, exact_rank);
+    }
+  }
+}
+
+/// Plain exact elimination determinant — the seed implementation, kept
+/// here as the differential reference for the Bareiss path.
+Rational ReferenceDeterminant(Mat m) {
+  const std::size_t n = m.rows();
+  Rational det(1);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t found = n;
+    for (std::size_t r = col; r < n; ++r) {
+      if (!m.At(r, col).IsZero()) {
+        found = r;
+        break;
+      }
+    }
+    if (found == n) return Rational(0);
+    if (found != col) {
+      m.SwapRows(found, col);
+      det = -det;
+    }
+    det *= m.At(col, col);
+    Rational inv = m.At(col, col).Inverse();
+    for (std::size_t r = col + 1; r < n; ++r) {
+      Rational factor = m.At(r, col) * inv;
+      if (factor.IsZero()) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        m.At(r, c) -= factor * m.At(col, c);
+      }
+    }
+  }
+  return det;
+}
+
+TEST(ModularDifferentialTest, BareissDeterminantMatchesExact) {
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t n = 1 + rng.Below(6);
+    Mat m(n, n);
+    const bool rational_entries = rng.Chance(1, 3);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (rational_entries) {
+          m.At(r, c) = Q(rng.Range(-8, 8), rng.Range(1, 8));
+        } else if (rng.Chance(1, 4)) {
+          m.At(r, c) = Rational(RandomBig(&rng, 4));
+        } else {
+          m.At(r, c) = Q(rng.Range(-8, 8));
+        }
+      }
+    }
+    EXPECT_EQ(DeterminantBareiss(m), ReferenceDeterminant(m));
+    EXPECT_EQ(Determinant(m), ReferenceDeterminant(m));
+  }
+}
+
+TEST(ModularFallbackTest, DeclinesWhenFedOnlyBadPrimesAndExactPathServes) {
+  // 4×4 integer matrix of rank 3 whose entries are all multiples of the
+  // injected prime: mod p the matrix is zero, so rank-0 "consensus" never
+  // verifies against the nonzero exact rows.
+  Rng rng(99);
+  Mat m = RandomMatrixFor(Regime::kUnluckyPrime, &rng);
+  ASSERT_GT(ReduceToRrefExact(m).rank, 0u);
+
+  std::vector<std::uint64_t> bad_primes = {kFirstPrime};
+  ModularOptions bad;
+  bad.primes = &bad_primes;
+  bad.max_primes = bad_primes.size();
+  EXPECT_FALSE(TryModularRref(m, bad).has_value());
+  EXPECT_FALSE(ModularRankLowerBound(m, bad).has_value() &&
+               *ModularRankLowerBound(m, bad) > 0);
+  EXPECT_FALSE(ModularNonsingularProbe(m, bad).has_value());
+
+  // The dispatching entry point (driver + exact fallback) still returns
+  // the exact answer — and so does the explicit fallback a caller with
+  // custom options would write.
+  Rref exact = ReduceToRrefExact(m);
+  std::optional<Rref> fast = TryModularRref(m, bad);
+  Rref served = fast.has_value() ? std::move(*fast) : ReduceToRrefExact(m);
+  ExpectRrefEqual(served, exact);
+  ExpectRrefEqual(ReduceToRref(m), exact);
+}
+
+TEST(ModularFallbackTest, SkipsPrimesDividingDenominators) {
+  // Entries with denominator equal to the first prime: that prime cannot
+  // reduce the matrix (FromRationalMat declines) and the driver must move
+  // on to the next prime and still produce the exact RREF.
+  Mat m(3, 3);
+  const BigInt p(static_cast<std::int64_t>(kFirstPrime));
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      m.At(r, c) = Rational(BigInt(static_cast<std::int64_t>(1 + r + 2 * c)),
+                            (r + c) % 2 == 0 ? p : BigInt(1));
+    }
+  }
+  Zp zp(kFirstPrime);
+  EXPECT_FALSE(ModMat::FromRationalMat(&zp, m).has_value());
+  std::optional<Rref> fast = TryModularRref(m);
+  ASSERT_TRUE(fast.has_value());
+  ExpectRrefEqual(*fast, ReduceToRrefExact(m));
+}
+
+TEST(ModularPrimesTest, ExtendsOnDemandWithRealPrimes) {
+  const std::vector<std::uint64_t>& primes = ModularPrimes(64);
+  ASSERT_GE(primes.size(), 64u);
+  EXPECT_EQ(primes[0], kFirstPrime);
+  for (std::size_t i = 1; i < 64; ++i) {
+    EXPECT_LT(primes[i], primes[i - 1]);
+    EXPECT_GT(primes[i], 1ull << 61);
+  }
+}
+
+TEST(ZpTest, MontgomeryArithmeticMatchesNaive) {
+  Zp zp(kFirstPrime);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.Below(kFirstPrime);
+    const std::uint64_t b = rng.Below(kFirstPrime);
+    const std::uint64_t ma = zp.To(a);
+    const std::uint64_t mb = zp.To(b);
+    EXPECT_EQ(zp.From(ma), a);
+    EXPECT_EQ(zp.From(zp.Add(ma, mb)), (a + b) % kFirstPrime);
+    const std::uint64_t naive_mul = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(a) * b % kFirstPrime);
+    EXPECT_EQ(zp.From(zp.Mul(ma, mb)), naive_mul);
+    if (a != 0) {
+      EXPECT_EQ(zp.From(zp.Mul(ma, zp.Inv(ma))), 1u);
+    }
+  }
+}
+
+TEST(BigIntModTest, MatchesDivModOnLargeAndNegativeValues) {
+  Rng rng(5);
+  const BigInt modulus(static_cast<std::int64_t>(kFirstPrime));
+  for (int i = 0; i < 100; ++i) {
+    BigInt v = RandomBig(&rng, 1 + static_cast<int>(rng.Below(8)));
+    if (rng.Chance(1, 2)) v = -v;
+    const BigInt reference = ((v % modulus) + modulus) % modulus;
+    EXPECT_EQ(BigInt(static_cast<std::int64_t>(v.Mod(kFirstPrime))),
+              reference);
+  }
+  EXPECT_EQ(BigInt(-3).Mod(7), 4u);
+  EXPECT_EQ(BigInt(0).Mod(7), 0u);
+  EXPECT_THROW(BigInt(1).Mod(0), std::domain_error);
+}
+
+TEST(MatStorageTest, SwapRowsAndReserve) {
+  Mat m{{Q(1), Q(2)}, {Q(3), Q(4)}, {Q(5), Q(6)}};
+  m.SwapRows(0, 2);
+  EXPECT_EQ(m.Row(0), (Vec{Q(5), Q(6)}));
+  EXPECT_EQ(m.Row(2), (Vec{Q(1), Q(2)}));
+  m.SwapRows(1, 1);  // No-op.
+  EXPECT_EQ(m.Row(1), (Vec{Q(3), Q(4)}));
+  Mat n;
+  n.Reserve(4, 4);  // Shape unchanged; just capacity.
+  EXPECT_EQ(n.rows(), 0u);
+  EXPECT_EQ(n.cols(), 0u);
+}
+
+TEST(ModularConsumersTest, SolveNullspaceSpanAndWitnessStayExact) {
+  // End-to-end through the dispatching consumers on a huge-entry system
+  // where the modular path is certain to engage.
+  Rng rng(11);
+  Mat a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      a.At(r, c) = Rational(RandomBig(&rng, 5));
+    }
+  }
+  Vec b(4);
+  for (std::size_t i = 0; i < 4; ++i) b[i] = Rational(RandomBig(&rng, 5));
+
+  std::optional<Vec> x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(a.Apply(*x), b);
+
+  // Rank-2 matrix: nullspace vectors must be genuine exact kernel vectors.
+  Mat low(4, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    low.At(0, c) = a.At(0, c);
+    low.At(1, c) = a.At(1, c);
+    low.At(2, c) = a.At(0, c) + a.At(1, c);
+    low.At(3, c) = a.At(0, c) - a.At(1, c);
+  }
+  std::vector<Vec> kernel = NullspaceBasis(low);
+  EXPECT_EQ(kernel.size(), 2u);
+  for (const Vec& v : kernel) {
+    EXPECT_TRUE(low.Apply(v).IsZero());
+  }
+
+  std::vector<Vec> basis = {low.Row(0), low.Row(1)};
+  SpanMembership in = TestSpanMembership(basis, low.Row(2));
+  ASSERT_TRUE(in.in_span);
+  EXPECT_EQ(basis[0] * in.coefficients[0] + basis[1] * in.coefficients[1],
+            low.Row(2));
+
+  std::optional<Vec> witness = OrthogonalWitness(basis, a.Row(2));
+  if (witness.has_value()) {
+    EXPECT_TRUE(witness->IsIntegral());
+    EXPECT_TRUE(Vec::Dot(*witness, basis[0]).IsZero());
+    EXPECT_TRUE(Vec::Dot(*witness, basis[1]).IsZero());
+    EXPECT_FALSE(Vec::Dot(*witness, a.Row(2)).IsZero());
+  }
+}
+
+}  // namespace
+}  // namespace bagdet
