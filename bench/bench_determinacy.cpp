@@ -11,12 +11,28 @@
 #include <benchmark/benchmark.h>
 
 #include "core/determinacy.h"
+#include "hom/hom_cache.h"
 #include "query/cq.h"
 #include "structs/structure.h"
 #include "util/rng.h"
 
 namespace bagdet {
 namespace {
+
+/// Exports one decide's hom-cache behavior (each DecideBagDeterminacy call
+/// builds its own analysis + cache, so the stats describe exactly one
+/// end-to-end run): traffic, dedup ratio, and resident footprint. Only the
+/// counterexample-synthesis path counts homs — the determined/decision-only
+/// paths resolve via span membership — so only that benchmark reports.
+void ReportCacheStats(benchmark::State& state,
+                      const DeterminacyResult& result) {
+  const HomCache::Stats stats = result.analysis.hom_cache->stats();
+  state.counters["hom_hits"] = static_cast<double>(stats.hits);
+  state.counters["hom_misses"] = static_cast<double>(stats.misses);
+  state.counters["hom_evictions"] = static_cast<double>(stats.evictions);
+  state.counters["hom_entries"] = static_cast<double>(stats.entries);
+  state.counters["hom_bytes"] = static_cast<double>(stats.bytes);
+}
 
 /// Builds k pairwise non-isomorphic connected components: directed cycles
 /// of lengths 1..k.
@@ -112,10 +128,12 @@ BENCHMARK(BM_DecideUndeterminedNoCertificate)
 void BM_DecideUndeterminedWithCounterexample(benchmark::State& state) {
   Instance inst =
       UndeterminedInstance(static_cast<std::size_t>(state.range(0)));
+  DeterminacyResult last;
   for (auto _ : state) {
-    DeterminacyResult result = DecideBagDeterminacy(inst.views, inst.q);
-    benchmark::DoNotOptimize(result.counterexample.has_value());
+    last = DecideBagDeterminacy(inst.views, inst.q);
+    benchmark::DoNotOptimize(last.counterexample.has_value());
   }
+  ReportCacheStats(state, last);
   state.SetLabel("k=" + std::to_string(state.range(0)) + " with certificate");
 }
 BENCHMARK(BM_DecideUndeterminedWithCounterexample)->Arg(2)->Arg(3)->Arg(4)->Arg(6);

@@ -321,6 +321,65 @@ void BM_DeterminantBigEntriesExact(benchmark::State& state) {
 }
 BENCHMARK(BM_DeterminantBigEntriesExact)->Arg(4)->Arg(6)->Arg(8);
 
+// --- Parallel multi-modular driver ---------------------------------------
+//
+// A rank-4 matrix with 256-bit entries makes the lifted RREF a dense
+// block of genuinely large rationals, so the driver accumulates a few
+// dozen primes and — the dominant cost at these dimensions — verifies the
+// lift with exact rational arithmetic row by row; eliminations,
+// reconstructions, and verification rows all fan out across the thread
+// pool. (A random *nonsingular* matrix would be useless here: its RREF is
+// the identity and one prime suffices.) Args are {dimension, num_threads}: num_threads=1 is the
+// serial fold (the bit-identical reference), larger values cap the worker
+// fan-out. On a multi-core runner the thread sweep is the parallel-speedup
+// trajectory; the CI bench artifacts record it per commit.
+
+Mat RandomHugeLowRankMatrix(Rng* rng, std::size_t n, std::size_t rank,
+                            int limbs) {
+  Mat m(n, n);
+  for (std::size_t r = 0; r < rank; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      BigInt v = RandomBig(rng, limbs);
+      if (rng->Chance(1, 2)) v = -v;
+      m.At(r, c) = Rational(std::move(v));
+    }
+  }
+  for (std::size_t r = rank; r < n; ++r) {
+    // One coefficient per basis row (a per-entry draw would destroy the
+    // linear dependence and collapse the RREF to the identity).
+    std::vector<Rational> coeff(rank);
+    for (std::size_t base = 0; base < rank; ++base) {
+      coeff[base] = Rational(rng->Range(1, 3));
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      Rational sum;
+      for (std::size_t base = 0; base < rank; ++base) {
+        sum += m.At(base, c) * coeff[base];
+      }
+      m.At(r, c) = std::move(sum);
+    }
+  }
+  return m;
+}
+
+void BM_ModularRrefManyPrimes(benchmark::State& state) {
+  Rng rng(53);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Mat m = RandomHugeLowRankMatrix(&rng, n, 4, kBigLimbs);  // 256-bit entries.
+  ModularOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TryModularRref(m, options));
+  }
+  state.SetLabel(std::to_string(state.range(1)) +
+                 " thread(s), rank 4, 256-bit entries");
+}
+BENCHMARK(BM_ModularRrefManyPrimes)
+    ->Args({12, 1})->Args({12, 2})->Args({12, 4})
+    ->Args({24, 1})->Args({24, 2})->Args({24, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_IsNonsingularBigEntries(benchmark::State& state) {
   Rng rng(47);
   Mat m = RandomBigMatrix(&rng, static_cast<std::size_t>(state.range(0)),

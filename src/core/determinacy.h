@@ -120,11 +120,13 @@ DeterminacyResult DecideBagDeterminacy(
 /// power identity q(D)^c · Π_{α_j<0} v_j(D)^{c·|α_j|} = Π_{α_j>0} v_j(D)^{c·α_j}.
 ///
 /// Counts route through the analysis's shared HomCache (as does
-/// VerifyCounterexample): repeated checks are memoized, which also means
-/// (a) concurrent calls on the *same* analysis are not safe — the pool and
-/// decomposition memo are unsynchronized — and (b) each distinct small
-/// `data` (≤ HomCache::max_intern_domain() elements) stays interned for
-/// the analysis's lifetime. Larger data bypasses the cache entirely.
+/// VerifyCounterexample): repeated checks are memoized. The cache and its
+/// sharded pool are thread-safe, so concurrent checks on the *same*
+/// analysis are supported — each thread just needs its own `data` object
+/// (Structure's lazy positional index is per-object and unsynchronized).
+/// Count entries are LRU-bounded by the cache's budgets; each distinct
+/// small `data` (≤ HomCache::max_intern_domain() elements) stays interned
+/// for the analysis's lifetime, larger data bypasses the cache entirely.
 bool CheckWitnessOnStructure(const InstanceAnalysis& analysis,
                              const DeterminacyWitness& witness,
                              const Structure& data);

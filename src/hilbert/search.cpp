@@ -1,5 +1,7 @@
 #include "hilbert/search.h"
 
+#include "util/thread_pool.h"
+
 namespace bagdet {
 
 namespace {
@@ -19,30 +21,40 @@ std::optional<NonDeterminacyWitness> SearchNonDeterminacy(
     const Theorem2Reduction& reduction, std::uint64_t bound) {
   // Materialize all summaries with their view/query counts first.
   struct Entry {
-    bool has_h;
-    bool has_c;
+    bool has_h = false;
+    bool has_c = false;
     std::vector<std::uint64_t> x_counts;
     std::vector<BigInt> views;
-    std::uint64_t views_fingerprint;  ///< Modular probe for the scan below.
+    std::uint64_t views_fingerprint = 0;  ///< Modular probe for the scan.
     BigInt query;
   };
+  // Enumerate the summary grid first, then fill the entries (view counts +
+  // fingerprint + query count) through the global ThreadPool: each task
+  // builds its own structure, so the only shared state — the reduction's
+  // queries and schema — is read-only. Entry order matches the enumeration
+  // order exactly, keeping the scan below (and the witness it returns)
+  // deterministic at any thread count.
   std::vector<Entry> entries;
   std::vector<std::uint64_t> x_counts(reduction.x_relations.size(), 0);
   do {
     for (int h = 0; h <= 1; ++h) {
       for (int c = 0; c <= 1; ++c) {
-        Structure d = reduction.MakeStructure(h == 1, c == 1, x_counts);
         Entry entry;
         entry.has_h = h == 1;
         entry.has_c = c == 1;
         entry.x_counts = x_counts;
-        entry.views = reduction.EvaluateViews(d);
-        entry.views_fingerprint = CountVectorFingerprint(entry.views);
-        entry.query = reduction.query.Count(d);
         entries.push_back(std::move(entry));
       }
     }
   } while (NextCounts(&x_counts, bound));
+  GlobalThreadPool().ParallelFor(entries.size(), [&](std::size_t i) {
+    Entry& entry = entries[i];
+    Structure d =
+        reduction.MakeStructure(entry.has_h, entry.has_c, entry.x_counts);
+    entry.views = reduction.EvaluateViews(d);
+    entry.views_fingerprint = CountVectorFingerprint(entry.views);
+    entry.query = reduction.query.Count(d);
+  });
 
   for (std::size_t i = 0; i < entries.size(); ++i) {
     for (std::size_t j = i + 1; j < entries.size(); ++j) {

@@ -1,34 +1,66 @@
 #include "hom/hom_cache.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <thread>
 
 #include "hom/hom.h"
 #include "structs/index.h"
+#include "util/thread_pool.h"
 
 namespace bagdet {
+
+namespace {
+
+/// Approximate resident cost of one memoized count: list/map node
+/// bookkeeping plus the BigInt's spilled limbs (small counts are inline).
+std::size_t EntryFootprint(std::size_t entry_size, const BigInt& count) {
+  return entry_size + 96 + count.BitLength() / 8;
+}
+
+}  // namespace
 
 HomCache::HomCache(std::shared_ptr<StructurePool> pool)
     : pool_(pool ? std::move(pool) : std::make_shared<StructurePool>()) {}
 
+void HomCache::InsertCount(CountShard& shard, std::uint64_t key,
+                           const BigInt& count) {
+  const std::size_t footprint = EntryFootprint(sizeof(CacheEntry), count);
+  const std::size_t entry_budget =
+      std::max<std::size_t>(1, max_entries_ / kNumShards);
+  const std::size_t byte_budget =
+      std::max<std::size_t>(1, max_bytes_ / kNumShards);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.index.find(key) != shard.index.end()) return;  // Raced insert.
+  shard.lru.push_front(CacheEntry{key, count, footprint});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += footprint;
+  // Evict cold entries past either budget, but always keep the entry just
+  // inserted — a single count larger than the whole byte budget must still
+  // serve its own request.
+  while (shard.lru.size() > 1 &&
+         (shard.index.size() > entry_budget || shard.bytes > byte_budget)) {
+    const CacheEntry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
 BigInt HomCache::CountPair(StructureRef from, StructureRef to) {
   const std::uint64_t key = PairKey(from, to);
+  CountShard& shard = count_shards_[ShardIndex(key)];
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = counts_.find(key);
-    if (it != counts_.end()) {
-      ++stats_.hits;
-      return it->second;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->count;
     }
-    ++stats_.misses;
+    ++shard.misses;
   }
   BigInt count = CountHoms(pool_->At(from), pool_->At(to));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    counts_.emplace(key, count);
-  }
+  InsertCount(shard, key, count);
   return count;
 }
 
@@ -58,6 +90,7 @@ BigInt HomCache::Count(const Structure& from, const Structure& to) {
 const std::vector<StructureRef>& HomCache::ComponentRefs(const Structure& s) {
   const StructureCanonicalData& data = s.CanonicalData();
   CanonicalKey whole_key = CanonicalKeyOf(s);
+  std::lock_guard<std::mutex> lock(components_mu_);
   auto it = components_of_.find(whole_key);
   if (it != components_of_.end()) return it->second;
   std::vector<StructureRef> refs;
@@ -95,50 +128,47 @@ std::vector<BigInt> HomCache::BatchCountHoms(
     const std::vector<std::pair<StructureRef, StructureRef>>& pairs,
     std::size_t num_threads) {
   std::vector<BigInt> results(pairs.size());
-  // Warm the targets' positional indexes on this thread: Structure::Index()
-  // builds lazily and is not safe to build from two workers at once.
+  // Validate every ref up front (published pool entries arrive with their
+  // positional index pre-warmed, so workers only ever read them).
   for (const auto& [from, to] : pairs) {
-    pool_->At(from);  // Validates the ref.
-    pool_->At(to).Index();
+    pool_->At(from);
+    pool_->At(to);
   }
-  std::size_t workers =
-      num_threads == 0 ? std::thread::hardware_concurrency() : num_threads;
-  if (workers == 0) workers = 1;
-  workers = std::min(workers, pairs.size());
-  if (workers <= 1) {
+  if (pairs.size() <= 1 || num_threads == 1) {
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       results[i] = CountPair(pairs[i].first, pairs[i].second);
     }
     return results;
   }
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mu;
-  std::exception_ptr error;
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= pairs.size()) return;
-      try {
+  GlobalThreadPool().ParallelFor(
+      pairs.size(),
+      [&](std::size_t i) {
         results[i] = CountPair(pairs[i].first, pairs[i].second);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-        return;
-      }
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (std::size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
-  worker();
-  for (std::thread& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
+      },
+      num_threads);
   return results;
 }
 
 HomCache::Stats HomCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats total;
+  for (const CountShard& shard : count_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.entries += shard.index.size();
+    total.bytes += shard.bytes;
+  }
+  return total;
+}
+
+void HomCache::ResetStats() {
+  for (CountShard& shard : count_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.evictions = 0;
+  }
 }
 
 }  // namespace bagdet

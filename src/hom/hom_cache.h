@@ -14,15 +14,27 @@
 // target) and shared across every query whose body contains an isomorphic
 // component.
 //
-// BatchCountHoms farms independent uncached pairs across a small thread
-// pool. Interning and target-index warming happen on the calling thread;
-// workers only read the pool and the per-pair table under a mutex, so the
-// cache itself is safe to use concurrently from the batch workers.
+// Serving-tier behavior:
+//   * The count table is sharded (per-shard mutex) and size-bounded: an
+//     entry budget and an approximate byte budget, enforced per shard with
+//     LRU eviction, keep a long-lived cache from growing without bound. An
+//     evicted pair is simply recomputed on the next miss — counts are pure
+//     functions of the interned classes, so eviction never changes results.
+//   * Hit/miss/eviction/footprint counters are exposed through stats() for
+//     tests and benchmarks; ResetStats() rezeroes the traffic counters.
+//   * Count/CountPair/BatchCountHoms are safe to call concurrently from
+//     any number of threads (the underlying StructurePool is sharded and
+//     its published representatives immutable). ComponentRefs is also
+//     thread-safe; the returned reference stays valid until the cache is
+//     destroyed (the memo never erases entries).
+//   * BatchCountHoms fans uncached pairs out over the shared global
+//     ThreadPool (util/thread_pool.h) instead of spawning ad-hoc threads.
 
 #ifndef BAGDET_HOM_HOM_CACHE_H_
 #define BAGDET_HOM_HOM_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -66,13 +78,15 @@ class HomCache {
   /// Pool refs of the connected components of `s`, in component order —
   /// memoized per canonical class, and built from the structure's cached
   /// per-component certificates, so repeated decompositions of pipeline
-  /// objects never re-run the labeling search. The reference is valid
-  /// until the cache is destroyed. Not safe to call concurrently.
+  /// objects never re-run the labeling search. Thread-safe; the reference
+  /// is valid until the cache is destroyed (entries are never evicted from
+  /// this memo — it holds refs, not counts, and stays tiny).
   const std::vector<StructureRef>& ComponentRefs(const Structure& s);
 
-  /// Counts every pair, memoized, fanning uncached pairs out over up to
-  /// `num_threads` workers (0 = hardware concurrency). Results are in
-  /// input order.
+  /// Counts every pair, memoized, fanning uncached pairs out through the
+  /// global ThreadPool. `num_threads` caps the parallelism (0 = the pool's
+  /// full width; 1 = serial on the calling thread). Results are in input
+  /// order.
   std::vector<BigInt> BatchCountHoms(
       const std::vector<std::pair<StructureRef, StructureRef>>& pairs,
       std::size_t num_threads = 0);
@@ -81,30 +95,77 @@ class HomCache {
   std::size_t max_intern_domain() const { return max_intern_domain_; }
   void set_max_intern_domain(std::size_t n) { max_intern_domain_ = n; }
 
+  /// Retention budgets for the memoized counts, enforced per shard with
+  /// LRU eviction (each of the kNumShards shards gets an equal slice; the
+  /// most recent entry of a shard is never evicted, so a single oversized
+  /// count still serves its own request). Set before sharing the cache
+  /// across threads; defaults are serving-tier scale.
+  std::size_t max_entries() const { return max_entries_; }
+  void set_max_entries(std::size_t n) { max_entries_ = n; }
+  std::size_t max_bytes() const { return max_bytes_; }
+  void set_max_bytes(std::size_t n) { max_bytes_ = n; }
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;  ///< Current resident count entries.
+    std::uint64_t bytes = 0;    ///< Approximate resident footprint.
   };
   Stats stats() const;
 
+  /// Rezeroes hits/misses/evictions (entries/bytes track live state and
+  /// are unaffected).
+  void ResetStats();
+
  private:
+  static constexpr std::size_t kNumShards = 8;
+
   static std::uint64_t PairKey(StructureRef from, StructureRef to) {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
+  static std::size_t ShardIndex(std::uint64_t key) {
+    // Avalanche so nearby refs spread; low bits index the shard.
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return static_cast<std::size_t>(key) & (kNumShards - 1);
+  }
+
+  struct CacheEntry {
+    std::uint64_t key = 0;
+    BigInt count;
+    std::size_t bytes = 0;  ///< Approximate footprint of this entry.
+  };
+  struct CountShard {
+    mutable std::mutex mu;
+    std::list<CacheEntry> lru;  // Front = most recently used.
+    std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;
+  };
 
   /// Returns the cached count or computes-and-caches it. Thread-safe.
   BigInt CountPair(StructureRef from, StructureRef to);
 
+  /// Inserts under the shard lock and evicts LRU entries past the budgets.
+  void InsertCount(CountShard& shard, std::uint64_t key, const BigInt& count);
+
   std::shared_ptr<StructurePool> pool_;
   std::size_t max_intern_domain_ = 256;
+  std::size_t max_entries_ = 1 << 20;
+  std::size_t max_bytes_ = 256u << 20;  // 256 MiB.
 
-  // Whole-structure canonical key → component refs (single-threaded use).
+  // Whole-structure canonical key → component refs. Guarded by
+  // components_mu_; node-based map and never erased, so returned
+  // references stay valid across concurrent inserts.
+  std::mutex components_mu_;
   std::unordered_map<CanonicalKey, std::vector<StructureRef>, CanonicalKeyHash>
       components_of_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, BigInt> counts_;
-  Stats stats_;
+  CountShard count_shards_[kNumShards];
 };
 
 }  // namespace bagdet

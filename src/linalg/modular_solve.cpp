@@ -1,10 +1,12 @@
 #include "linalg/modular_solve.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 
 #include "linalg/modmat.h"
 #include "util/bigint.h"
+#include "util/thread_pool.h"
 
 namespace bagdet {
 
@@ -132,11 +134,19 @@ std::optional<Rational> ReconstructRational(const BigInt& residue,
 /// accumulated primes already certify rank_Q(a) >= rank(cand) via a
 /// nonvanishing minor, and RREF is unique per row space). Pivot columns of
 /// the combination match automatically, so only free columns are checked.
+///
+/// Rows are independent read-only checks over exact rationals — on large
+/// matrices this certificate, not the word-size eliminations, dominates
+/// the driver's cost — so they fan out across the thread pool. The result
+/// is a conjunction over rows: bit-identical at any parallelism.
 bool VerifyRrefCandidate(const Mat& a, const Rref& cand,
-                         const std::vector<std::size_t>& free_cols) {
+                         const std::vector<std::size_t>& free_cols,
+                         std::size_t parallelism) {
   const std::size_t rank = cand.rank;
-  std::vector<Rational> coeff(rank);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
+  std::atomic<bool> ok{true};
+  auto check_row = [&](std::size_t r) {
+    if (!ok.load(std::memory_order_relaxed)) return;  // Another row failed.
+    std::vector<Rational> coeff(rank);
     for (std::size_t i = 0; i < rank; ++i) coeff[i] = a.At(r, cand.pivots[i]);
     for (std::size_t c : free_cols) {
       Rational sum;
@@ -146,19 +156,35 @@ bool VerifyRrefCandidate(const Mat& a, const Rref& cand,
         if (entry.IsZero()) continue;
         sum += coeff[i] * entry;
       }
-      if (sum != a.At(r, c)) return false;
+      if (sum != a.At(r, c)) {
+        ok.store(false, std::memory_order_relaxed);
+        return;
+      }
     }
+  };
+  if (parallelism <= 1 || a.rows() < 2) {
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      check_row(r);
+      if (!ok.load(std::memory_order_relaxed)) return false;
+    }
+    return true;
   }
-  return true;
+  GlobalThreadPool().ParallelFor(a.rows(), check_row, parallelism);
+  return ok.load(std::memory_order_relaxed);
 }
 
 }  // namespace
 
 const std::vector<std::uint64_t>& ModularPrimes(std::size_t count) {
   // Seeded with the 40 largest primes below 2^62 and extended downward on
-  // demand. Extension is mutex-guarded; concurrent extension while a
-  // caller still reads a previously returned reference is not supported
-  // (the pipeline drives linear algebra from a single thread).
+  // demand. Extension is mutex-guarded, and the backing vector's capacity
+  // is reserved once up front so growth never reallocates: references
+  // returned earlier stay valid while another thread extends the table —
+  // required now that concurrent TryModularRref calls (and its worker
+  // batches) share this sequence. kCapacity is 64× the driver's hardest
+  // prime-budget clamp; exceeding it throws rather than invalidating
+  // published references.
+  static constexpr std::size_t kCapacity = 65536;
   static std::mutex mu;
   static std::vector<std::uint64_t> primes = {
       4611686018427387847ull, 4611686018427387817ull, 4611686018427387787ull,
@@ -176,6 +202,10 @@ const std::vector<std::uint64_t>& ModularPrimes(std::size_t count) {
       4611686018427386471ull, 4611686018427386389ull, 4611686018427386351ull,
       4611686018427386329ull};
   std::lock_guard<std::mutex> lock(mu);
+  if (primes.capacity() < kCapacity) primes.reserve(kCapacity);
+  if (count > kCapacity) {
+    throw std::length_error("ModularPrimes: prime table capacity exceeded");
+  }
   std::uint64_t candidate = primes.back() - 2;
   while (primes.size() < count) {
     while (!IsPrimeU64(candidate)) candidate -= 2;
@@ -215,19 +245,52 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
   std::size_t next_attempt = 1;
   std::size_t last_attempt_used = 0;
 
+  // Parallelism for the fan-out stages (per-prime eliminations, the
+  // lift's per-entry reconstructions, and the verification rows). An
+  // explicit num_threads is always honored (tests rely on forcing the
+  // parallel path on small inputs); in auto mode tiny problems stay
+  // serial and never touch — or lazily construct — the global pool.
+  std::size_t parallelism = 1;
+  if (options.num_threads != 0) {
+    parallelism = options.num_threads;
+  } else if (rows * cols >= 64) {
+    parallelism = GlobalThreadPool().num_workers() + 1;
+  }
+
   // Lift: rational reconstruction of every nontrivial entry, then the
   // exact residual certificate. A failed lift just means "not enough
-  // primes yet".
+  // primes yet". Reconstructions are independent per entry and the
+  // certificate is independent per row, so both stages fan out; each is a
+  // pure function of the accumulated residues, so the outcome is
+  // bit-identical at any thread count.
   auto attempt_lift = [&]() -> std::optional<Rref> {
     last_attempt_used = used;
     const BigInt bound =
         BigInt::FloorKthRoot((modulus - BigInt(1)) / BigInt(2), 2);
     std::vector<Rational> values(residues.size());
-    for (std::size_t i = 0; i < residues.size(); ++i) {
-      std::optional<Rational> q =
-          ReconstructRational(residues[i], modulus, bound);
-      if (!q.has_value()) return std::nullopt;
-      values[i] = std::move(*q);
+    if (parallelism <= 1 || residues.size() < 8) {
+      for (std::size_t i = 0; i < residues.size(); ++i) {
+        std::optional<Rational> q =
+            ReconstructRational(residues[i], modulus, bound);
+        if (!q.has_value()) return std::nullopt;
+        values[i] = std::move(*q);
+      }
+    } else {
+      std::atomic<bool> all_ok{true};
+      GlobalThreadPool().ParallelFor(
+          residues.size(),
+          [&](std::size_t i) {
+            if (!all_ok.load(std::memory_order_relaxed)) return;
+            std::optional<Rational> q =
+                ReconstructRational(residues[i], modulus, bound);
+            if (!q.has_value()) {
+              all_ok.store(false, std::memory_order_relaxed);
+              return;
+            }
+            values[i] = std::move(*q);
+          },
+          parallelism);
+      if (!all_ok.load(std::memory_order_relaxed)) return std::nullopt;
     }
     Rref cand;
     cand.matrix = Mat(rows, cols);
@@ -240,71 +303,116 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
             std::move(values[i * free_cols.size() + j]);
       }
     }
-    if (!VerifyRrefCandidate(m, cand, free_cols)) return std::nullopt;
+    if (!VerifyRrefCandidate(m, cand, free_cols, parallelism)) {
+      return std::nullopt;
+    }
     return cand;
   };
 
-  for (std::size_t pi = 0; pi < budget; ++pi) {
-    const std::uint64_t p = PrimeAt(options, pi);
-    if (p == 0) break;  // Injected prime list exhausted.
-    Zp zp(p);
-    std::optional<ModMat> mm = ModMat::FromRationalMat(&zp, m);
-    if (!mm.has_value()) continue;  // p divides a denominator.
-    ModRref mr = mm->RrefInPlace();
-
-    const bool adopt =
-        !have_consensus || mr.rank > rank ||
-        (mr.rank == rank && mr.pivots < pivots);
-    if (adopt) {
-      have_consensus = true;
-      rank = mr.rank;
-      pivots = mr.pivots;
-      free_cols.clear();
-      std::size_t next_pivot = 0;
-      for (std::size_t c = 0; c < cols; ++c) {
-        if (next_pivot < pivots.size() && pivots[next_pivot] == c) {
-          ++next_pivot;
-        } else {
-          free_cols.push_back(c);
-        }
+  // The per-prime eliminations are embarrassingly parallel: batches of up
+  // to `parallelism` primes fan out across the global ThreadPool, and the
+  // finished batch is *folded* (consensus signature, CRT accumulation,
+  // lift attempts) strictly in prime order on this thread — exactly the
+  // sequence the serial loop executes, so the result is bit-identical for
+  // every thread count. The only cost of batching is that a lift that
+  // succeeds mid-batch discards the later eliminations of that batch.
+  struct PrimeElim {
+    std::uint64_t p = 0;
+    std::optional<Zp> zp;   // Owned here; mm points into it (never moved).
+    std::optional<ModMat> mm;
+    ModRref mr;
+  };
+  bool primes_exhausted = false;
+  for (std::size_t pi = 0; pi < budget && !primes_exhausted;) {
+    const std::size_t batch_cap =
+        std::min(std::max<std::size_t>(parallelism, 1), budget - pi);
+    std::vector<PrimeElim> batch(batch_cap);
+    std::size_t n = 0;
+    for (; n < batch_cap; ++n) {
+      const std::uint64_t p = PrimeAt(options, pi + n);
+      if (p == 0) {  // Injected prime list exhausted.
+        primes_exhausted = true;
+        break;
       }
-      modulus = BigInt(static_cast<std::int64_t>(p));
-      residues.assign(rank * free_cols.size(), BigInt(0));
-      for (std::size_t i = 0; i < rank; ++i) {
-        for (std::size_t j = 0; j < free_cols.size(); ++j) {
-          residues[i * free_cols.size() + j] = BigInt(
-              static_cast<std::int64_t>(zp.From(mm->At(i, free_cols[j]))));
-        }
-      }
-      used = 1;
-      next_attempt = 1;
-    } else if (mr.rank == rank && mr.pivots == pivots) {
-      // CRT-combine this prime into the accumulated residues.
-      const std::uint64_t m_mod_p = modulus.Mod(p);
-      const std::uint64_t inv_m = zp.From(zp.Inv(zp.To(m_mod_p)));
-      for (std::size_t i = 0; i < rank; ++i) {
-        for (std::size_t j = 0; j < free_cols.size(); ++j) {
-          BigInt& x = residues[i * free_cols.size() + j];
-          const std::uint64_t v = zp.From(mm->At(i, free_cols[j]));
-          const std::uint64_t x_mod_p = x.Mod(p);
-          const std::uint64_t delta = v >= x_mod_p ? v - x_mod_p
-                                                   : v + p - x_mod_p;
-          const std::uint64_t t = MulModU64(delta, inv_m, p);
-          x += modulus * BigInt(static_cast<std::int64_t>(t));
-        }
-      }
-      modulus *= BigInt(static_cast<std::int64_t>(p));
-      ++used;
+      batch[n].p = p;
+    }
+    if (n == 0) break;
+    auto eliminate = [&batch, &m](std::size_t i) {
+      PrimeElim& e = batch[i];
+      e.zp.emplace(e.p);
+      e.mm = ModMat::FromRationalMat(&*e.zp, m);
+      if (e.mm.has_value()) e.mr = e.mm->RrefInPlace();
+    };
+    if (n == 1 || parallelism <= 1) {
+      for (std::size_t i = 0; i < n; ++i) eliminate(i);
     } else {
-      continue;  // Strictly worse signature: provably unlucky prime.
+      GlobalThreadPool().ParallelFor(n, eliminate, parallelism);
     }
 
-    // Geometric attempt schedule (the Euclid passes stay a small fraction
-    // of the total work) — but always attempt on the last prime of the
-    // budget, so a modulus that only just got large enough is not wasted.
-    if (used < next_attempt && pi + 1 < budget) continue;
-    if (std::optional<Rref> cand = attempt_lift()) return cand;
-    next_attempt = used + 1 + used / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t prime_index = pi + i;
+      PrimeElim& e = batch[i];
+      if (!e.mm.has_value()) continue;  // p divides a denominator.
+      const std::uint64_t p = e.p;
+      const Zp& zp = *e.zp;
+      const ModMat& mm = *e.mm;
+      const ModRref& mr = e.mr;
+
+      const bool adopt =
+          !have_consensus || mr.rank > rank ||
+          (mr.rank == rank && mr.pivots < pivots);
+      if (adopt) {
+        have_consensus = true;
+        rank = mr.rank;
+        pivots = mr.pivots;
+        free_cols.clear();
+        std::size_t next_pivot = 0;
+        for (std::size_t c = 0; c < cols; ++c) {
+          if (next_pivot < pivots.size() && pivots[next_pivot] == c) {
+            ++next_pivot;
+          } else {
+            free_cols.push_back(c);
+          }
+        }
+        modulus = BigInt(static_cast<std::int64_t>(p));
+        residues.assign(rank * free_cols.size(), BigInt(0));
+        for (std::size_t r = 0; r < rank; ++r) {
+          for (std::size_t j = 0; j < free_cols.size(); ++j) {
+            residues[r * free_cols.size() + j] = BigInt(
+                static_cast<std::int64_t>(zp.From(mm.At(r, free_cols[j]))));
+          }
+        }
+        used = 1;
+        next_attempt = 1;
+      } else if (mr.rank == rank && mr.pivots == pivots) {
+        // CRT-combine this prime into the accumulated residues.
+        const std::uint64_t m_mod_p = modulus.Mod(p);
+        const std::uint64_t inv_m = zp.From(zp.Inv(zp.To(m_mod_p)));
+        for (std::size_t r = 0; r < rank; ++r) {
+          for (std::size_t j = 0; j < free_cols.size(); ++j) {
+            BigInt& x = residues[r * free_cols.size() + j];
+            const std::uint64_t v = zp.From(mm.At(r, free_cols[j]));
+            const std::uint64_t x_mod_p = x.Mod(p);
+            const std::uint64_t delta = v >= x_mod_p ? v - x_mod_p
+                                                     : v + p - x_mod_p;
+            const std::uint64_t t = MulModU64(delta, inv_m, p);
+            x += modulus * BigInt(static_cast<std::int64_t>(t));
+          }
+        }
+        modulus *= BigInt(static_cast<std::int64_t>(p));
+        ++used;
+      } else {
+        continue;  // Strictly worse signature: provably unlucky prime.
+      }
+
+      // Geometric attempt schedule (the Euclid passes stay a small fraction
+      // of the total work) — but always attempt on the last prime of the
+      // budget, so a modulus that only just got large enough is not wasted.
+      if (used < next_attempt && prime_index + 1 < budget) continue;
+      if (std::optional<Rref> cand = attempt_lift()) return cand;
+      next_attempt = used + 1 + used / 2;
+    }
+    pi += n;
   }
   // The loop can end without a lift at the final accumulated modulus: the
   // last primes of the budget may all have been skipped (vanished

@@ -6,7 +6,11 @@
 // driver here computes the same answers the fast way computer-algebra
 // systems do:
 //
-//   1. eliminate over Z/p for one or more 62-bit primes (linalg/modmat.h),
+//   1. eliminate over Z/p for one or more 62-bit primes (linalg/modmat.h)
+//      — batched across the global ThreadPool (util/thread_pool.h), since
+//      the per-prime eliminations are independent; the CRT fold below
+//      always runs in prime order, keeping results bit-identical to the
+//      serial path at any thread count,
 //   2. combine residues by CRT and lift to Q by rational reconstruction
 //      (Wang's algorithm),
 //   3. **verify the lifted answer exactly** — a per-row residual check
@@ -42,6 +46,20 @@ struct ModularOptions {
   /// When set, primes are drawn from this list (in order) instead of the
   /// built-in 62-bit prime sequence. Entries must be odd primes < 2^62.
   const std::vector<std::uint64_t>* primes = nullptr;
+  /// Parallelism for TryModularRref's fan-out stages — the per-prime
+  /// eliminations, the lift's per-entry rational reconstructions, and the
+  /// rows of the exact verification certificate (which dominates the cost
+  /// on large matrices): 0 uses the global ThreadPool's full width, 1
+  /// forces the serial path, other values cap the worker fan-out. An
+  /// explicit value is always honored; auto mode (0) keeps matrices under
+  /// 64 cells serial, where the fan-out handshake costs more than it
+  /// saves. The
+  /// result is bit-identical at every setting — primes are eliminated in
+  /// batches but *folded* (consensus signature, CRT accumulation, lift
+  /// attempts) strictly in prime order, exactly the sequence the serial
+  /// path executes, and the lift/verify stages are pure per-entry/per-row
+  /// functions of that fold's state.
+  std::size_t num_threads = 0;
 };
 
 /// First `count` primes of the built-in sequence (largest primes below

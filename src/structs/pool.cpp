@@ -1,17 +1,57 @@
 #include "structs/pool.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace bagdet {
 
+StructurePool::~StructurePool() {
+  for (Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+      Slot* block = shard.blocks[b].load(std::memory_order_acquire);
+      if (block == nullptr) continue;
+      const std::size_t size = kFirstBlockSize << b;
+      for (std::size_t i = 0; i < size; ++i) {
+        delete block[i].load(std::memory_order_acquire);
+      }
+      delete[] block;
+    }
+  }
+}
+
 StructureRef StructurePool::InternWithKey(const CanonicalKey& key,
                                           Structure s) {
-  auto it = by_key_.find(key);
-  if (it != by_key_.end()) return it->second;
-  StructureRef ref = static_cast<StructureRef>(structures_.size());
-  keys_.push_back(key);
-  by_key_.emplace(key, ref);
-  structures_.push_back(std::move(s));
+  const std::size_t shard_id = ShardOf(key);
+  Shard& shard = shards_[shard_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(key);
+  if (it != shard.by_key.end()) return it->second;
+
+  const std::uint32_t local = shard.count.load(std::memory_order_relaxed);
+  std::size_t block_index, offset;
+  Locate(local, &block_index, &offset);
+  if (block_index >= kMaxBlocks || local >= kMaxLocalIndex) {
+    throw std::length_error("StructurePool: shard capacity exhausted");
+  }
+  std::unique_ptr<Entry> entry(new Entry{key, std::move(s)});
+  // Freeze the representative before publication: once readers can reach
+  // the entry lock-free, its lazy caches must never be (re)built. The
+  // canonical form is already cached (key computation or the caller's
+  // certificate reuse); the positional index is warmed here.
+  entry->structure.Index();
+
+  Slot* block = shard.blocks[block_index].load(std::memory_order_acquire);
+  if (block == nullptr) {
+    block = new Slot[kFirstBlockSize << block_index]();
+    shard.blocks[block_index].store(block, std::memory_order_release);
+  }
+  block[offset].store(entry.release(), std::memory_order_release);
+
+  const StructureRef ref =
+      static_cast<StructureRef>(local) * kNumShards +
+      static_cast<StructureRef>(shard_id);
+  shard.by_key.emplace(key, ref);
+  shard.count.store(local + 1, std::memory_order_release);
   return ref;
 }
 
@@ -29,8 +69,49 @@ StructureRef StructurePool::Find(const Structure& s) const {
 }
 
 StructureRef StructurePool::FindKey(const CanonicalKey& key) const {
-  auto it = by_key_.find(key);
-  return it == by_key_.end() ? kInvalidStructureRef : it->second;
+  const Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_key.find(key);
+  return it == shard.by_key.end() ? kInvalidStructureRef : it->second;
+}
+
+const StructurePool::Entry* StructurePool::EntryAt(StructureRef ref) const {
+  const std::size_t shard_id = ref % kNumShards;
+  const std::uint32_t local = ref / kNumShards;
+  const Shard& shard = shards_[shard_id];
+  // The acquire load of count pairs with Intern's release store after slot
+  // publication, so a ref below count always sees its entry.
+  if (local >= shard.count.load(std::memory_order_acquire)) return nullptr;
+  std::size_t block_index, offset;
+  Locate(local, &block_index, &offset);
+  const Slot* block =
+      shard.blocks[block_index].load(std::memory_order_acquire);
+  if (block == nullptr) return nullptr;
+  return block[offset].load(std::memory_order_acquire);
+}
+
+const Structure& StructurePool::At(StructureRef ref) const {
+  const Entry* entry = EntryAt(ref);
+  if (entry == nullptr) {
+    throw std::out_of_range("StructurePool::At: unknown StructureRef");
+  }
+  return entry->structure;
+}
+
+const CanonicalKey& StructurePool::KeyOf(StructureRef ref) const {
+  const Entry* entry = EntryAt(ref);
+  if (entry == nullptr) {
+    throw std::out_of_range("StructurePool::KeyOf: unknown StructureRef");
+  }
+  return entry->key;
+}
+
+std::size_t StructurePool::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 }  // namespace bagdet

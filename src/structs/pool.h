@@ -7,16 +7,32 @@
 // O(k) pairwise IsIsomorphic backtracking — into single hash-map probes,
 // and gives the hom-count cache (hom/hom_cache.h) stable (from, to) keys.
 //
-// The pool is not synchronized; intern on one thread (HomCache's batch
-// entry point pre-interns before farming counts out to workers).
+// Thread safety (the concurrent-serving contract):
+//   * Intern/InternWithKey/Find/FindKey take a short per-shard mutex — the
+//     table is split into kNumShards shards by canonical-key hash, so
+//     concurrent interns of unrelated classes do not contend.
+//   * At()/KeyOf()/size() are lock-free: entries are heap-allocated once,
+//     published with a release store into a chunked slot directory, and
+//     never moved or mutated afterwards. A ref handed to any thread can be
+//     dereferenced by any thread with a plain acquire load.
+//   * Published representatives are immutable *including their lazy
+//     caches*: Intern warms Structure::Index() before publication and the
+//     canonical form is already cached by key computation, so concurrent
+//     readers never race on the Structure's internal shared_ptr caches.
+//
+// Refs are "dense modulo sharding": the ref of the i-th class of shard s
+// is i * kNumShards + s, so a pool with C classes only uses refs below
+// C * kNumShards — still suitable for direct-indexed side tables.
 
 #ifndef BAGDET_STRUCTS_POOL_H_
 #define BAGDET_STRUCTS_POOL_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "structs/canonical.h"
 #include "structs/structure.h"
@@ -33,6 +49,15 @@ constexpr StructureRef kInvalidStructureRef = static_cast<StructureRef>(-1);
 /// representative structure retained per class.
 class StructurePool {
  public:
+  /// Number of independently locked shards (power of two).
+  static constexpr std::size_t kNumShards = 8;
+
+  StructurePool() = default;
+  ~StructurePool();
+
+  StructurePool(const StructurePool&) = delete;
+  StructurePool& operator=(const StructurePool&) = delete;
+
   /// Interns `s`, returning the ref of its isomorphism class. The first
   /// structure of a class becomes the class representative; later
   /// isomorphic structures return the existing ref without being stored.
@@ -43,6 +68,8 @@ class StructurePool {
   /// Interns `s` under an externally computed `key`. The caller guarantees
   /// key == CanonicalKeyOf(s) — used by layers that already hold the
   /// per-component certificates and must not re-run the labeling search.
+  /// For lock-free readers to stay race-free, `s` should arrive with its
+  /// canonical data already cached (both in-tree callers guarantee this).
   StructureRef InternWithKey(const CanonicalKey& key, Structure s);
 
   /// Ref of `s`'s class if already interned, kInvalidStructureRef otherwise.
@@ -51,20 +78,68 @@ class StructurePool {
   /// Ref of the class with this canonical key, if interned.
   StructureRef FindKey(const CanonicalKey& key) const;
 
-  /// Representative structure of a class. The reference is stable for the
-  /// lifetime of the pool (storage never moves).
-  const Structure& At(StructureRef ref) const { return structures_.at(ref); }
+  /// Representative structure of a class. Lock-free; the reference is
+  /// stable for the lifetime of the pool (entries never move). Throws
+  /// std::out_of_range for refs this pool never returned.
+  const Structure& At(StructureRef ref) const;
 
-  /// Canonical key of a class.
-  const CanonicalKey& KeyOf(StructureRef ref) const { return keys_.at(ref); }
+  /// Canonical key of a class. Lock-free, same lifetime as At().
+  const CanonicalKey& KeyOf(StructureRef ref) const;
 
   /// Number of distinct isomorphism classes interned.
-  std::size_t size() const { return structures_.size(); }
+  std::size_t size() const;
 
  private:
-  std::unordered_map<CanonicalKey, StructureRef, CanonicalKeyHash> by_key_;
-  std::deque<Structure> structures_;  // Deque: stable references across growth.
-  std::vector<CanonicalKey> keys_;
+  struct Entry {
+    CanonicalKey key;
+    Structure structure;
+  };
+
+  // Chunked slot directory per shard: block pointers and entry pointers
+  // are published with release stores and read with acquire loads, so
+  // At()/KeyOf() need no lock. Blocks grow geometrically (block b holds
+  // kFirstBlockSize << b slots, allocated lazily under the shard mutex),
+  // which keeps the directory — and therefore pool construction, which
+  // happens once per AnalyzeInstance — a few hundred bytes while still
+  // covering the encodable ref space; Intern throws std::length_error at
+  // the (unreachable in practice) capacity rather than misbehaving.
+  static constexpr std::size_t kFirstBlockSize = 64;
+  static constexpr std::size_t kMaxBlocks = 23;
+  // Largest shard-local index whose encoded ref still fits StructureRef
+  // without colliding with kInvalidStructureRef. The block directory caps
+  // capacity just below this (64 * (2^23 - 1) < 2^32 / 8), but the intern
+  // path checks this bound explicitly so ref arithmetic can never wrap.
+  static constexpr std::uint32_t kMaxLocalIndex =
+      (kInvalidStructureRef - (kNumShards - 1)) / kNumShards;
+  using Slot = std::atomic<const Entry*>;
+  struct Shard {
+    mutable std::mutex mu;
+    // Guarded by mu; values are full (encoded) refs.
+    std::unordered_map<CanonicalKey, StructureRef, CanonicalKeyHash> by_key;
+    std::array<std::atomic<Slot*>, kMaxBlocks> blocks{};
+    std::atomic<std::uint32_t> count{0};  // Published entries in this shard.
+  };
+
+  /// Maps a shard-local index to its (block, offset) in the geometric
+  /// directory: blocks 0..b-1 hold kFirstBlockSize * (2^b - 1) slots.
+  static void Locate(std::uint32_t local, std::size_t* block,
+                     std::size_t* offset) {
+    const unsigned long long m = local / kFirstBlockSize + 1;
+    const int b = 63 - __builtin_clzll(m);
+    *block = static_cast<std::size_t>(b);
+    *offset = local - kFirstBlockSize * ((1ull << b) - 1);
+  }
+
+  static std::size_t ShardOf(const CanonicalKey& key) {
+    // The low hash bits feed the shard's unordered_map buckets; mix the
+    // high bits into shard selection so the two partitions are independent.
+    return static_cast<std::size_t>(key.hash >> 57) & (kNumShards - 1);
+  }
+
+  /// Entry for a published ref, nullptr for refs never handed out.
+  const Entry* EntryAt(StructureRef ref) const;
+
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace bagdet
