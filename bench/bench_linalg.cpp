@@ -9,20 +9,14 @@
 
 #include "linalg/gauss.h"
 #include "linalg/modular_solve.h"
+#include "tests/test_matrices.h"
 #include "util/bigint.h"
 #include "util/rng.h"
 
 namespace bagdet {
 namespace {
 
-BigInt RandomBig(Rng* rng, int limbs) {
-  BigInt x(0);
-  const BigInt base = BigInt::FromString("4294967296");
-  for (int i = 0; i < limbs; ++i) {
-    x = x * base + BigInt(static_cast<std::int64_t>(rng->Below(1ull << 32)));
-  }
-  return x;
-}
+using testmat::RandomBig;
 
 void BM_BigIntMultiply(benchmark::State& state) {
   Rng rng(7);
@@ -57,13 +51,7 @@ void BM_BigIntPow(benchmark::State& state) {
 BENCHMARK(BM_BigIntPow)->Arg(16)->Arg(256)->Arg(4096);
 
 Mat RandomMatrix(Rng* rng, std::size_t n, std::int64_t lo, std::int64_t hi) {
-  Mat m(n, n);
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t c = 0; c < n; ++c) {
-      m.At(r, c) = Rational(rng->Range(lo, hi));
-    }
-  }
-  return m;
+  return testmat::RandomIntMatrix(rng, n, n, lo, hi);
 }
 
 void BM_GaussianElimination(benchmark::State& state) {
@@ -129,27 +117,15 @@ BENCHMARK(BM_OrthogonalWitness)->Arg(4)->Arg(8)->Arg(16);
 constexpr int kBigLimbs = 8;
 
 Mat RandomBigMatrix(Rng* rng, std::size_t rows, std::size_t cols) {
-  Mat m(rows, cols);
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < cols; ++c) {
-      BigInt v = RandomBig(rng, kBigLimbs);
-      if (rng->Chance(1, 2)) v = -v;
-      m.At(r, c) = Rational(std::move(v));
-    }
-  }
-  return m;
+  return testmat::RandomBigMatrix(rng, rows, cols, kBigLimbs);
 }
 
-/// Rank-deficient variant: the last rows are combinations of the first two.
+/// Rank-2 variant: the last rows are genuine combinations of the first
+/// two (the shared generator draws one coefficient per basis row — the
+/// local copy this replaces drew per-entry coefficients, which silently
+/// restored full rank and made the "rank-2 kernel" label a lie).
 Mat RandomBigLowRankMatrix(Rng* rng, std::size_t n) {
-  Mat m = RandomBigMatrix(rng, n, n);
-  for (std::size_t r = 2; r < n; ++r) {
-    for (std::size_t c = 0; c < n; ++c) {
-      m.At(r, c) = m.At(0, c) * Rational(rng->Range(1, 3)) +
-                   m.At(1, c) * Rational(rng->Range(1, 3));
-    }
-  }
-  return m;
+  return testmat::RandomBigLowRankMatrix(rng, n, 2, kBigLimbs);
 }
 
 void BM_RrefBigEntries(benchmark::State& state) {
@@ -334,38 +310,10 @@ BENCHMARK(BM_DeterminantBigEntriesExact)->Arg(4)->Arg(6)->Arg(8);
 // fan-out. On a multi-core runner the thread sweep is the parallel-speedup
 // trajectory; the CI bench artifacts record it per commit.
 
-Mat RandomHugeLowRankMatrix(Rng* rng, std::size_t n, std::size_t rank,
-                            int limbs) {
-  Mat m(n, n);
-  for (std::size_t r = 0; r < rank; ++r) {
-    for (std::size_t c = 0; c < n; ++c) {
-      BigInt v = RandomBig(rng, limbs);
-      if (rng->Chance(1, 2)) v = -v;
-      m.At(r, c) = Rational(std::move(v));
-    }
-  }
-  for (std::size_t r = rank; r < n; ++r) {
-    // One coefficient per basis row (a per-entry draw would destroy the
-    // linear dependence and collapse the RREF to the identity).
-    std::vector<Rational> coeff(rank);
-    for (std::size_t base = 0; base < rank; ++base) {
-      coeff[base] = Rational(rng->Range(1, 3));
-    }
-    for (std::size_t c = 0; c < n; ++c) {
-      Rational sum;
-      for (std::size_t base = 0; base < rank; ++base) {
-        sum += m.At(base, c) * coeff[base];
-      }
-      m.At(r, c) = std::move(sum);
-    }
-  }
-  return m;
-}
-
 void BM_ModularRrefManyPrimes(benchmark::State& state) {
   Rng rng(53);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Mat m = RandomHugeLowRankMatrix(&rng, n, 4, kBigLimbs);  // 256-bit entries.
+  Mat m = testmat::RandomBigLowRankMatrix(&rng, n, 4, kBigLimbs);  // 256-bit.
   ModularOptions options;
   options.num_threads = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
@@ -377,6 +325,119 @@ void BM_ModularRrefManyPrimes(benchmark::State& state) {
 BENCHMARK(BM_ModularRrefManyPrimes)
     ->Args({12, 1})->Args({12, 2})->Args({12, 4})
     ->Args({24, 1})->Args({24, 2})->Args({24, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Dedicated multi-modular inverse -------------------------------------
+//
+// Args are {dimension, limbs}: entries are random 32·limbs-bit integers,
+// so the pair sweeps both the crossover dimension and the bit-size axis.
+// BM_ModularInverse runs TryModularInverse (CRT below
+// ModularOptions::dixon_min_dim, Dixon p-adic lifting above, both behind
+// the fresh-prime screen + exact A·A⁻¹ = I certificate);
+// BM_ModularInverseExact is the always-exact [A|I] reference the results
+// are pinned against. The `dixon` counter records which strategy ran.
+
+Mat RandomNonsingularBigMatrix(Rng* rng, std::size_t n, int limbs) {
+  Mat m = testmat::RandomBigMatrix(rng, n, n, limbs);
+  while (!IsNonsingular(m)) m = testmat::RandomBigMatrix(rng, n, n, limbs);
+  return m;
+}
+
+void BM_ModularInverse(benchmark::State& state) {
+  Rng rng(59);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Mat m = RandomNonsingularBigMatrix(&rng, n, static_cast<int>(state.range(1)));
+  ModularStats stats;
+  ModularOptions options;
+  options.stats = &stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TryModularInverse(m, options));
+  }
+  state.counters["dixon"] = stats.used_dixon ? 1 : 0;
+  state.counters["primes"] = static_cast<double>(stats.primes_used);
+  state.SetLabel(std::to_string(32 * state.range(1)) + "-bit entries");
+}
+BENCHMARK(BM_ModularInverse)
+    ->Args({4, 1})->Args({8, 1})->Args({12, 1})->Args({16, 1})
+    ->Args({4, 8})->Args({8, 8})->Args({12, 8})->Args({16, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ModularInverseDixon(benchmark::State& state) {
+  Rng rng(59);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Mat m = RandomNonsingularBigMatrix(&rng, n, static_cast<int>(state.range(1)));
+  ModularOptions options;
+  options.dixon_min_dim = 1;  // Force the p-adic path for the comparison.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TryModularInverse(m, options));
+  }
+  state.SetLabel(std::to_string(32 * state.range(1)) +
+                 "-bit entries, forced Dixon");
+}
+BENCHMARK(BM_ModularInverseDixon)
+    ->Args({12, 1})->Args({16, 1})
+    ->Args({12, 8})->Args({16, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ModularInverseExact(benchmark::State& state) {
+  Rng rng(59);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Mat m = RandomNonsingularBigMatrix(&rng, n, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InverseExact(m));
+  }
+  state.SetLabel(std::to_string(32 * state.range(1)) + "-bit entries");
+}
+BENCHMARK(BM_ModularInverseExact)
+    ->Args({4, 1})->Args({8, 1})->Args({12, 1})->Args({16, 1})
+    ->Args({4, 8})->Args({8, 8})->Args({12, 8})->Args({16, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Verification pre-check before/after ---------------------------------
+//
+// The huge-low-rank regime where the exact verification certificate
+// dominates TryModularRref, with the entries additionally scaled by the
+// product of the driver's first two primes: those primes see a zero
+// matrix, the early rank-0 consensus reconstructs trivially, and the
+// driver must *reject* spurious candidates before the true signature
+// appears — the workload the residual pre-check exists for. Arg is the
+// number of fresh screening primes: 0 reproduces the pre-PR behavior
+// (every reconstructed candidate runs the exact rational pass), 2 is the
+// production default (bad candidates die in word-size arithmetic; the
+// exact pass runs exactly once, for the accepted result). The exported
+// per-call counters make the before/after visible per commit:
+// exact_verifies vs precheck_rejects out of lift_attempts.
+
+void BM_VerifyRref(benchmark::State& state) {
+  Rng rng(61);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Mat m = testmat::RandomBigLowRankMatrix(&rng, n, 4, kBigLimbs);  // 256-bit.
+  const std::vector<std::uint64_t>& primes = ModularPrimes(2);
+  const Rational poison(BigInt(static_cast<std::int64_t>(primes[0])) *
+                        BigInt(static_cast<std::int64_t>(primes[1])));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) m.At(r, c) *= poison;
+  }
+  ModularStats stats;
+  ModularOptions options;
+  options.verify_precheck_primes = static_cast<std::size_t>(state.range(1));
+  options.stats = &stats;
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TryModularRref(m, options));
+    ++iterations;
+  }
+  const double scale = iterations != 0 ? 1.0 / iterations : 0.0;
+  state.counters["lift_attempts"] = stats.lift_attempts * scale;
+  state.counters["precheck_rejects"] = stats.precheck_rejects * scale;
+  state.counters["exact_verifies"] = stats.exact_verifies * scale;
+  state.SetLabel(state.range(1) == 0 ? "pre-check off (before)"
+                                     : "pre-check on (after)");
+}
+BENCHMARK(BM_VerifyRref)
+    ->Args({16, 0})->Args({16, 2})
+    ->Args({24, 0})->Args({24, 2})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -136,6 +136,12 @@ DeterminacyResult DecideBagDeterminacy(std::vector<ConjunctiveQuery> views,
                                        const DeterminacyOptions& options) {
   DeterminacyResult result;
   result.analysis = AnalyzeInstance(std::move(views), std::move(query));
+  if (options.hom_cache_max_entries != 0) {
+    result.analysis.hom_cache->set_max_entries(options.hom_cache_max_entries);
+  }
+  if (options.hom_cache_max_bytes != 0) {
+    result.analysis.hom_cache->set_max_bytes(options.hom_cache_max_bytes);
+  }
 
   // Main Lemma 31: V0 ⟶bag q ⇔ q⃗ ∈ span{v⃗ : v ∈ V}.
   SpanMembership span = TestSpanMembership(result.analysis.view_vectors,

@@ -95,6 +95,13 @@ struct DeterminacyOptions {
   /// (it can be exponentially larger than the decision itself).
   bool want_counterexample = true;
   DistinguisherOptions distinguisher;
+  /// Budgets applied to the analysis's shared HomCache before the heavy
+  /// pipeline stages run (0 keeps the library default). Counts are pure
+  /// functions of the interned classes, so eviction pressure can never
+  /// change a verdict — the end-to-end property suite pins exactly that
+  /// with a tiny budget, and serving tiers can bound long-lived decisions.
+  std::size_t hom_cache_max_entries = 0;
+  std::size_t hom_cache_max_bytes = 0;
 };
 
 /// Outcome of the decision procedure.

@@ -21,6 +21,25 @@ std::size_t RationalBitLength(const Rational& value) {
 /// always wins.
 bool UseModularPath(const Mat& m) { return m.rows() >= 3 && m.cols() >= 3; }
 
+/// Inverse dispatch gate, from the measured crossover (BENCH_linalg.json):
+/// with word-size entries exact [A|I] elimination stays ahead through
+/// n ≈ 8 (its rationals never grow far), while entries of 32 bits and up
+/// flip to the multi-modular path from n = 4.
+bool UseModularInverse(const Mat& m) {
+  const std::size_t n = m.rows();
+  if (n < 4) return false;
+  if (n >= 9) return true;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      const Rational& q = m.At(r, c);
+      if (q.numerator().BitLength() + q.denominator().BitLength() >= 32) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 Rref ReduceToRref(Mat m) {
@@ -142,19 +161,29 @@ Rational Determinant(Mat m) {
 
 std::optional<Mat> Inverse(const Mat& m) {
   if (m.rows() != m.cols()) return std::nullopt;
+  if (m.rows() == 0) return Mat(0, 0);
+  // The dedicated multi-modular inverse (per-prime inversion + CRT below
+  // ModularOptions::dixon_min_dim, Dixon p-adic lifting above it, both
+  // capped by a fresh-prime screen + exact A·A⁻¹ = I certificate) replaces
+  // the earlier generic RREF-of-[A|I] lift, whose exact verification cost
+  // as much as the elimination it saved. A nullopt means "declined OR
+  // singular" — the exact reference settles which.
+  if (UseModularInverse(m)) {
+    if (std::optional<Mat> fast = TryModularInverse(m)) return fast;
+  }
+  return InverseExact(m);
+}
+
+std::optional<Mat> InverseExact(const Mat& m) {
+  if (m.rows() != m.cols()) return std::nullopt;
   const std::size_t n = m.rows();
+  if (n == 0) return Mat(0, 0);
   // Augment [m | I] and reduce.
   Mat aug(n, 2 * n);
   for (std::size_t r = 0; r < n; ++r) {
     for (std::size_t c = 0; c < n; ++c) aug.At(r, c) = m.At(r, c);
     aug.At(r, n + r) = Rational(1);
   }
-  // Deliberately exact: the inverse's n² output entries are all dense
-  // n×n-minor ratios, so the modular lift + exact verification costs as
-  // much as the elimination it replaces (measured ~2x slower from n=4
-  // small entries to n=16 radix-sized entries — see BENCH_linalg.json).
-  // The modular fast path pays off when the answer is *smaller* than the
-  // work (ranks, span tests, low-rank kernels), not for dense inverses.
   Rref rref = ReduceToRrefExact(std::move(aug));
   if (rref.rank < n || rref.pivots[n - 1] >= n) return std::nullopt;
   Mat inverse(n, n);

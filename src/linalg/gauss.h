@@ -2,19 +2,20 @@
 // relies on (Fact 5: orthogonal witnesses; Lemma 46: Vandermonde
 // nonsingularity; span tests behind the Main Lemma 31).
 //
-// Modular dispatch: ReduceToRref, Rank, and IsNonsingular route through
-// the certified multi-modular driver (linalg/modular_solve.h) whenever the
-// matrix is big enough to benefit, falling back to plain exact elimination
-// when the driver declines (unlucky primes, exhausted prime budget).
-// Results are bit-for-bit identical either way — the driver verifies every
-// lifted answer exactly before returning it. SolveLinearSystem,
-// NullspaceBasis, TestSpanMembership, and OrthogonalWitness inherit the
-// fast path through ReduceToRref; Determinant uses fraction-free Bareiss
-// elimination for the dense-integer case. Inverse deliberately stays on
-// the exact path: its dense minor-sized output makes the modular lift
-// cost as much as the elimination it replaces (see the comment in
-// Inverse). ReduceToRrefExact is the always-exact reference
-// implementation (also the differential-test and benchmarking baseline).
+// Modular dispatch: ReduceToRref, Rank, IsNonsingular, and Inverse route
+// through the certified multi-modular driver (linalg/modular_solve.h)
+// whenever the matrix is big enough to benefit, falling back to plain
+// exact elimination when the driver declines (unlucky primes, exhausted
+// prime budget). Results are bit-for-bit identical either way — the
+// driver verifies every lifted answer exactly before returning it, with a
+// fresh-prime residual pre-check screening bad candidates in word-size
+// arithmetic first. SolveLinearSystem, NullspaceBasis, TestSpanMembership,
+// and OrthogonalWitness inherit the fast path through ReduceToRref;
+// Determinant uses fraction-free Bareiss elimination for the dense-integer
+// case; Inverse dispatches to TryModularInverse (per-prime inversion + CRT
+// for small n, Dixon p-adic lifting for large n). ReduceToRrefExact and
+// InverseExact are the always-exact reference implementations (also the
+// differential-test and benchmarking baselines).
 
 #ifndef BAGDET_LINALG_GAUSS_H_
 #define BAGDET_LINALG_GAUSS_H_
@@ -52,9 +53,13 @@ bool IsNonsingular(const Mat& m);
 /// elimination over Q otherwise.
 Rational Determinant(Mat m);
 
-/// Inverse of a square nonsingular matrix; std::nullopt when singular.
-/// Always computed by exact elimination — see the implementation note.
+/// Inverse of a square nonsingular matrix; std::nullopt when singular
+/// (modular fast path + exact fallback; see the file comment).
 std::optional<Mat> Inverse(const Mat& m);
+
+/// Inverse via exact fraction arithmetic only (Gauss–Jordan on [A | I]) —
+/// the reference path every modular inverse is pinned against.
+std::optional<Mat> InverseExact(const Mat& m);
 
 /// One solution x of A x = b, or std::nullopt when inconsistent. When the
 /// system is underdetermined the free variables are set to zero.

@@ -65,6 +65,42 @@ std::uint64_t PrimeAt(const ModularOptions& options, std::size_t i) {
   return ModularPrimes(i + 1)[i];
 }
 
+/// Folds `d` into a running denominator lcm — the clearing idiom shared
+/// by the Bareiss determinant, the inverse certificate's row/column
+/// scales, and Dixon's integer clearing. One copy so a future tweak
+/// cannot drift between them.
+void FoldLcm(BigInt* lcm, const BigInt& d) {
+  if (d.IsOne()) return;
+  *lcm = *lcm / BigInt::Gcd(*lcm, d) * d;
+}
+
+/// ceil(log2(cols + 1)), floored at 1 — the per-row sqrt factor of the
+/// Hadamard bounds below.
+std::size_t LogColsBound(std::size_t cols) {
+  std::size_t log_cols = 1;
+  while ((1ull << log_cols) < cols + 1) ++log_cols;
+  return log_cols;
+}
+
+/// Hadamard contribution of one matrix row after clearing its
+/// denominators: largest numerator bit length, plus the cleared
+/// denominators (the row lcm divides their product), plus the sqrt(cols)
+/// factor. The single source of truth for every prime/digit budget in
+/// this file — AutoPrimeBudget, InverseEntryBitBound, and (via the
+/// cleared-integer variant computed inline) DixonInverse all build on
+/// this shape; keep them consistent.
+std::size_t RowEntryBitBound(const Mat& m, std::size_t row,
+                             std::size_t log_cols) {
+  std::size_t num_bits = 1;
+  std::size_t den_bits = 0;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const Rational& q = m.At(row, c);
+    num_bits = std::max(num_bits, q.numerator().BitLength());
+    if (!q.denominator().IsOne()) den_bits += q.denominator().BitLength();
+  }
+  return num_bits + den_bits + log_cols;
+}
+
 /// Prime budget covering the worst-case (Hadamard-bounded) RREF entry
 /// size: every RREF entry is a ratio of r×r minors of the
 /// denominator-cleared matrix, so a modulus of twice the minor bit bound
@@ -74,20 +110,10 @@ std::uint64_t PrimeAt(const ModularOptions& options, std::size_t i) {
 /// is why the budget is also clamped.
 std::size_t AutoPrimeBudget(const Mat& m) {
   const std::size_t r = std::min(m.rows(), m.cols());
-  std::size_t log_cols = 1;
-  while ((1ull << log_cols) < m.cols() + 1) ++log_cols;
-  // Per-row entry bound after clearing the row's denominators (the lcm
-  // divides the product of the entry denominators).
+  const std::size_t log_cols = LogColsBound(m.cols());
   std::vector<std::size_t> row_bits(m.rows(), 0);
   for (std::size_t row = 0; row < m.rows(); ++row) {
-    std::size_t num_bits = 1;
-    std::size_t den_bits = 0;
-    for (std::size_t c = 0; c < m.cols(); ++c) {
-      const Rational& q = m.At(row, c);
-      num_bits = std::max(num_bits, q.numerator().BitLength());
-      if (!q.denominator().IsOne()) den_bits += q.denominator().BitLength();
-    }
-    row_bits[row] = num_bits + den_bits + log_cols;
+    row_bits[row] = RowEntryBitBound(m, row, log_cols);
   }
   // A minor uses r rows; bound by the r largest row contributions.
   std::sort(row_bits.begin(), row_bits.end(), std::greater<std::size_t>());
@@ -125,6 +151,35 @@ std::optional<Rational> ReconstructRational(const BigInt& residue,
   if (den > bound) return std::nullopt;
   if (!BigInt::Gcd(num, den).IsOne()) return std::nullopt;
   return Rational(std::move(num), std::move(den));
+}
+
+/// Up to `count` screening primes for the residual pre-check: drawn from
+/// options.verify_primes verbatim when injected (the adversarial test
+/// seam — deliberately no disjointness filter), otherwise from the
+/// built-in sequence skipping every prime in `used` (each prime the
+/// driver has drawn for the reconstruction side). Disjointness is what
+/// gives the screen power: a candidate assembled by CRT over the used
+/// primes satisfies the residual identities mod each of them by
+/// construction, so screening against them can never reject.
+std::vector<std::uint64_t> FreshVerifyPrimes(
+    const ModularOptions& options, const std::vector<std::uint64_t>& used,
+    std::size_t count) {
+  std::vector<std::uint64_t> fresh;
+  if (count == 0) return fresh;
+  if (options.verify_primes != nullptr) {
+    for (std::uint64_t p : *options.verify_primes) {
+      fresh.push_back(p);
+      if (fresh.size() == count) break;
+    }
+    return fresh;
+  }
+  for (std::size_t i = 0; fresh.size() < count; ++i) {
+    const std::uint64_t p = ModularPrimes(i + 1)[i];
+    if (std::find(used.begin(), used.end(), p) == used.end()) {
+      fresh.push_back(p);
+    }
+  }
+  return fresh;
 }
 
 /// Exact certificate that `cand` is THE reduced row echelon form of `a`:
@@ -171,6 +226,446 @@ bool VerifyRrefCandidate(const Mat& a, const Rref& cand,
   }
   GlobalThreadPool().ParallelFor(a.rows(), check_row, parallelism);
   return ok.load(std::memory_order_relaxed);
+}
+
+/// Bit bound on the numerators/denominators of A^{-1}'s entries: every
+/// entry is an (n-1)×(n-1) minor over the determinant of the
+/// row-denominator-cleared matrix, and both are Hadamard-bounded by the
+/// product of the per-row contributions (RowEntryBitBound).
+std::size_t InverseEntryBitBound(const Mat& m) {
+  const std::size_t log_cols = LogColsBound(m.cols());
+  std::size_t bits = 1;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    bits += RowEntryBitBound(m, r, log_cols);
+  }
+  return bits;
+}
+
+/// Certificate that `cand` is exactly A^{-1}: the fresh-prime residual
+/// screen first — a true Freivalds check per screening prime, A·(cand·r)
+/// compared to r for the fixed moment vector r = (1, 3, 3², …), two
+/// matrix–vector products in word-size arithmetic instead of the full
+/// O(n³) matrix product — and a mismatch certifies the candidate wrong
+/// (reduction mod a usable prime is a ring homomorphism, and a true
+/// inverse satisfies the identity for every vector). Then the exact
+/// identity, per column with denominators cleared:
+///   Σ_k Ar(r,k) · (d_c·cand(k,c))  ==  δ_rc · s_r · d_c
+/// where Ar is A with row r scaled by s_r (the row's denominator lcm) and
+/// d_c clears candidate column c. Everything after the clearing is plain
+/// BigInt multiply/accumulate — no rational normalization churn — and the
+/// columns are independent, so they fan out across the thread pool; the
+/// result is a conjunction, bit-identical at any parallelism.
+bool VerifyInverseCandidate(const Mat& a, const Mat& cand,
+                            const std::vector<std::uint64_t>& screen,
+                            std::size_t parallelism, ModularStats* stats) {
+  const std::size_t n = a.rows();
+  for (std::uint64_t p : screen) {
+    Zp zp(p);
+    std::optional<ModMat> am = ModMat::FromRationalMat(&zp, a);
+    if (!am.has_value()) continue;  // p divides a denominator: unusable.
+    std::optional<ModMat> cm = ModMat::FromRationalMat(&zp, cand);
+    if (!cm.has_value()) continue;
+    // The moment vector makes a missed wrong candidate as unlikely as a
+    // random one (the residual matrix annihilating (1, t, t², …) at a
+    // fixed t means every residual row's polynomial vanishes at t); the
+    // exact pass below is the actual guarantee either way.
+    std::vector<std::uint64_t> moments(n);
+    const std::uint64_t three = zp.To(3 % p);
+    std::uint64_t power = zp.one();
+    for (std::size_t i = 0; i < n; ++i) {
+      moments[i] = power;
+      power = zp.Mul(power, three);
+    }
+    const std::vector<std::uint64_t> through = am->MulVec(cm->MulVec(moments));
+    if (through != moments) {
+      if (stats != nullptr) ++stats->precheck_rejects;
+      return false;
+    }
+  }
+  if (stats != nullptr) ++stats->exact_verifies;
+
+  std::vector<BigInt> cleared(n * n);
+  std::vector<BigInt> row_scale(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    BigInt lcm(1);
+    for (std::size_t c = 0; c < n; ++c) {
+      FoldLcm(&lcm, a.At(r, c).denominator());
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      const Rational& q = a.At(r, c);
+      cleared[r * n + c] = q.numerator() * (lcm / q.denominator());
+    }
+    row_scale[r] = std::move(lcm);
+  }
+  std::atomic<bool> ok{true};
+  auto check_col = [&](std::size_t c) {
+    if (!ok.load(std::memory_order_relaxed)) return;
+    BigInt col_den(1);
+    for (std::size_t k = 0; k < n; ++k) {
+      FoldLcm(&col_den, cand.At(k, c).denominator());
+    }
+    std::vector<BigInt> v(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const Rational& q = cand.At(k, c);
+      v[k] = q.numerator() * (col_den / q.denominator());
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      BigInt acc(0);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (v[k].IsZero() || cleared[r * n + k].IsZero()) continue;
+        acc += cleared[r * n + k] * v[k];
+      }
+      const BigInt expect = r == c ? row_scale[r] * col_den : BigInt(0);
+      if (acc != expect) {
+        ok.store(false, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  if (parallelism <= 1 || n < 2) {
+    for (std::size_t c = 0; c < n; ++c) {
+      check_col(c);
+      if (!ok.load(std::memory_order_relaxed)) return false;
+    }
+    return true;
+  }
+  GlobalThreadPool().ParallelFor(n, check_col, parallelism);
+  return ok.load(std::memory_order_relaxed);
+}
+
+/// Multi-modular inverse, CRT strategy: invert mod one prime at a time
+/// (batched across the pool like TryModularRref's eliminations, folded
+/// strictly in prime order), accumulate the n² residues by CRT, and lift
+/// by per-column rational reconstruction on a geometric attempt schedule.
+/// A prime where the matrix is singular is skipped — but when the first
+/// few usable primes ALL report singular the matrix is almost surely
+/// singular over Q (a zero determinant vanishes mod every prime) and the
+/// driver declines so the exact fallback can settle it cheaply.
+///
+/// NOTE: the batch-draw/fold/attempt-schedule skeleton deliberately
+/// mirrors TryModularRref (the payloads differ: no consensus signature
+/// or adopt/reset here, singular probes instead). A fix to either loop's
+/// exhaustion handling or geometric schedule almost certainly applies to
+/// the other — keep them in sync.
+std::optional<Mat> CrtInverse(const Mat& m, const ModularOptions& options,
+                              std::size_t parallelism) {
+  const std::size_t n = m.rows();
+  const std::size_t entry_bits = InverseEntryBitBound(m);
+  std::size_t budget =
+      options.max_primes != 0
+          ? options.max_primes
+          : std::min<std::size_t>(
+                std::max<std::size_t>((2 * entry_bits) / 61 + 4, 8), 1024);
+  if (options.primes != nullptr) {
+    budget = std::min(budget, options.primes->size());
+  }
+
+  BigInt modulus(1);
+  std::vector<BigInt> residues(n * n, BigInt(0));
+  std::size_t used = 0;
+  std::size_t next_attempt = 1;
+  std::size_t last_attempt_used = 0;
+  std::size_t singular_probes = 0;
+  constexpr std::size_t kMaxSingularProbes = 3;
+  std::vector<std::uint64_t> drawn;
+
+  auto attempt_lift = [&]() -> std::optional<Mat> {
+    last_attempt_used = used;
+    if (options.stats != nullptr) ++options.stats->lift_attempts;
+    const BigInt bound =
+        BigInt::FloorKthRoot((modulus - BigInt(1)) / BigInt(2), 2);
+    Mat cand(n, n);
+    std::atomic<bool> all_ok{true};
+    auto lift_col = [&](std::size_t c) {
+      if (!all_ok.load(std::memory_order_relaxed)) return;
+      for (std::size_t r = 0; r < n; ++r) {
+        std::optional<Rational> q =
+            ReconstructRational(residues[r * n + c], modulus, bound);
+        if (!q.has_value()) {
+          all_ok.store(false, std::memory_order_relaxed);
+          return;
+        }
+        cand.At(r, c) = std::move(*q);
+      }
+    };
+    if (parallelism <= 1 || n < 2) {
+      for (std::size_t c = 0; c < n; ++c) {
+        lift_col(c);
+        if (!all_ok.load(std::memory_order_relaxed)) return std::nullopt;
+      }
+    } else {
+      GlobalThreadPool().ParallelFor(n, lift_col, parallelism);
+      if (!all_ok.load(std::memory_order_relaxed)) return std::nullopt;
+    }
+    const std::vector<std::uint64_t> screen =
+        FreshVerifyPrimes(options, drawn, options.verify_precheck_primes);
+    if (!VerifyInverseCandidate(m, cand, screen, parallelism, options.stats)) {
+      return std::nullopt;
+    }
+    if (options.stats != nullptr) options.stats->primes_used = used;
+    return cand;
+  };
+
+  struct PrimeInv {
+    std::uint64_t p = 0;
+    std::optional<Zp> zp;  // Owned here; inv's ModMat points into it.
+    bool reduced = false;  // FromRationalMat succeeded (p divides no den).
+    std::optional<ModMat> inv;
+  };
+  bool primes_exhausted = false;
+  for (std::size_t pi = 0; pi < budget && !primes_exhausted;) {
+    const std::size_t batch_cap =
+        std::min(std::max<std::size_t>(parallelism, 1), budget - pi);
+    std::vector<PrimeInv> batch(batch_cap);
+    std::size_t batch_n = 0;
+    for (; batch_n < batch_cap; ++batch_n) {
+      const std::uint64_t p = PrimeAt(options, pi + batch_n);
+      if (p == 0) {  // Injected prime list exhausted.
+        primes_exhausted = true;
+        break;
+      }
+      batch[batch_n].p = p;
+      drawn.push_back(p);
+    }
+    if (batch_n == 0) break;
+    auto invert = [&batch, &m](std::size_t i) {
+      PrimeInv& e = batch[i];
+      e.zp.emplace(e.p);
+      std::optional<ModMat> mm = ModMat::FromRationalMat(&*e.zp, m);
+      if (!mm.has_value()) return;
+      e.reduced = true;
+      e.inv = mm->Inverted();
+    };
+    if (batch_n == 1 || parallelism <= 1) {
+      for (std::size_t i = 0; i < batch_n; ++i) invert(i);
+    } else {
+      GlobalThreadPool().ParallelFor(batch_n, invert, parallelism);
+    }
+
+    for (std::size_t i = 0; i < batch_n; ++i) {
+      const std::size_t prime_index = pi + i;
+      PrimeInv& e = batch[i];
+      if (!e.reduced) continue;  // p divides a denominator.
+      if (!e.inv.has_value()) {  // Singular mod p.
+        if (used == 0 && ++singular_probes >= kMaxSingularProbes) {
+          return std::nullopt;
+        }
+        continue;
+      }
+      const std::uint64_t p = e.p;
+      const Zp& zp = *e.zp;
+      const ModMat& inv = *e.inv;
+      if (used == 0) {
+        modulus = BigInt(static_cast<std::int64_t>(p));
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t c = 0; c < n; ++c) {
+            residues[r * n + c] =
+                BigInt(static_cast<std::int64_t>(zp.From(inv.At(r, c))));
+          }
+        }
+        used = 1;
+        next_attempt = 1;
+      } else {
+        const std::uint64_t m_mod_p = modulus.Mod(p);
+        const std::uint64_t inv_m = zp.From(zp.Inv(zp.To(m_mod_p)));
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t c = 0; c < n; ++c) {
+            BigInt& x = residues[r * n + c];
+            const std::uint64_t v = zp.From(inv.At(r, c));
+            const std::uint64_t x_mod_p = x.Mod(p);
+            const std::uint64_t delta =
+                v >= x_mod_p ? v - x_mod_p : v + p - x_mod_p;
+            const std::uint64_t t = MulModU64(delta, inv_m, p);
+            x += modulus * BigInt(static_cast<std::int64_t>(t));
+          }
+        }
+        modulus *= BigInt(static_cast<std::int64_t>(p));
+        ++used;
+      }
+
+      if (used < next_attempt && prime_index + 1 < budget) continue;
+      if (std::optional<Mat> cand = attempt_lift()) return cand;
+      next_attempt = used + 1 + used / 2;
+    }
+    pi += batch_n;
+  }
+  if (used > last_attempt_used) {
+    if (std::optional<Mat> cand = attempt_lift()) return cand;
+  }
+  return std::nullopt;
+}
+
+/// Multi-modular inverse, Dixon strategy: ONE inversion mod a single
+/// seed prime p, then per-column p-adic lifting — each digit costs a
+/// word-size matrix–vector product by the seed inverse plus a
+/// minor-bounded BigInt residual update r ← (r − A·y)/p — followed by
+/// per-column rational reconstruction from the p^k image. Compared to
+/// CRT this trades n per-prime O(n³) eliminations for O(n²)-per-digit
+/// lifting, which wins once n is large enough that elimination dominates
+/// reduction (ModularOptions::dixon_min_dim; see BENCH_linalg.json for
+/// the measured crossover).
+std::optional<Mat> DixonInverse(const Mat& m, const ModularOptions& options,
+                                std::size_t parallelism) {
+  const std::size_t n = m.rows();
+  // Clear the whole matrix to integers: m = ai / scale entrywise, so
+  // m^{-1} = scale·ai^{-1} and the lifting runs over Z.
+  BigInt scale(1);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      FoldLcm(&scale, m.At(r, c).denominator());
+    }
+  }
+  // Hadamard bound over the *actual* cleared integers (the RowEntryBitBound
+  // shape, but measured on ai instead of bounded through per-row lcms —
+  // the global clearing scale is already folded into each entry here).
+  std::vector<BigInt> ai(n * n);
+  std::size_t entry_bits = 1;
+  {
+    const std::size_t log_cols = LogColsBound(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      std::size_t row_bits = 1;
+      for (std::size_t c = 0; c < n; ++c) {
+        const Rational& q = m.At(r, c);
+        BigInt& e = ai[r * n + c];
+        e = q.numerator() * (scale / q.denominator());
+        row_bits = std::max(row_bits, e.BitLength());
+      }
+      entry_bits += row_bits + log_cols;
+    }
+  }
+
+  // Seed: the first prime (injected list or built-in sequence) where the
+  // cleared matrix is invertible mod p. A handful of unlucky primes
+  // (dividing the determinant) are tolerated before declining.
+  constexpr std::size_t kSeedAttempts = 4;
+  std::optional<Zp> zp;
+  std::optional<ModMat> seed_inv;
+  std::uint64_t p = 0;
+  std::vector<std::uint64_t> drawn;
+  for (std::size_t pi = 0; pi < kSeedAttempts && !seed_inv.has_value(); ++pi) {
+    const std::uint64_t cand_p = PrimeAt(options, pi);
+    if (cand_p == 0) break;  // Injected prime list exhausted.
+    drawn.push_back(cand_p);
+    zp.emplace(cand_p);
+    ModMat mm(&*zp, n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        mm.At(r, c) = zp->To(ai[r * n + c].Mod(cand_p));
+      }
+    }
+    seed_inv = mm.Inverted();
+    if (seed_inv.has_value()) p = cand_p;
+  }
+  if (!seed_inv.has_value()) return std::nullopt;
+
+  // Digits so that p^iters > 2·B² for the Hadamard entry bound B — then
+  // the rational reconstruction of every true entry is guaranteed.
+  const std::size_t iters = (2 * entry_bits + 2) / 61 + 2;
+  const BigInt big_p(static_cast<std::int64_t>(p));
+  const BigInt modulus = BigInt::Pow(big_p, iters);
+  const BigInt bound =
+      BigInt::FloorKthRoot((modulus - BigInt(1)) / BigInt(2), 2);
+  if (options.stats != nullptr) {
+    ++options.stats->lift_attempts;
+    options.stats->used_dixon = true;
+    options.stats->primes_used = 1;
+  }
+
+  // Shared p^(2^ℓ) ladder for the digit combine below (read-only across
+  // the column fan-out).
+  std::vector<BigInt> p_ladder;
+  {
+    BigInt pw = big_p;
+    for (std::size_t span = 1; span < iters; span *= 2) {
+      p_ladder.push_back(pw);
+      pw *= pw;
+    }
+  }
+
+  Mat cand(n, n);
+  std::atomic<bool> all_ok{true};
+  auto lift_col = [&](std::size_t j) {
+    if (!all_ok.load(std::memory_order_relaxed)) return;
+    const Zp& z = *zp;
+    std::vector<BigInt> residual(n);
+    residual[j] = BigInt(1);
+    // digit_rows[i] collects entry i's p-adic digits in order; they are
+    // assembled into x_i afterwards by a balanced combine (adjacent
+    // blocks merged with the precomputed p^(2^ℓ) ladder), which costs
+    // full-limb multiplications instead of a quadratic word-at-a-time
+    // accumulation against an ever-growing p^t.
+    std::vector<std::vector<std::uint64_t>> digit_rows(n);
+    std::vector<std::uint64_t> digits(n);
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t i = 0; i < n; ++i) {
+        digits[i] = z.To(residual[i].Mod(p));
+      }
+      std::vector<std::uint64_t> y = seed_inv->MulVec(digits);
+      for (std::size_t i = 0; i < n; ++i) {
+        y[i] = z.From(y[i]);
+        digit_rows[i].push_back(y[i]);
+      }
+      // A zero digit vector does NOT end the expansion (the residual may
+      // be divisible by p yet nonzero); only a zero residual does.
+      bool residual_zero = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        BigInt acc = std::move(residual[i]);
+        for (std::size_t k = 0; k < n; ++k) {
+          if (y[k] == 0 || ai[i * n + k].IsZero()) continue;
+          acc -= ai[i * n + k] * BigInt(static_cast<std::int64_t>(y[k]));
+        }
+        acc.DivModU64(p);  // Exact: A·y ≡ residual (mod p) by construction.
+        if (!acc.IsZero()) residual_zero = false;
+        residual[i] = std::move(acc);
+      }
+      if (residual_zero) break;  // Expansion is finite (x is exact).
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // Balanced combine: level ℓ merges blocks of 2^ℓ digits, so every
+      // multiplication is between operands of comparable size.
+      std::vector<BigInt> blocks;
+      blocks.reserve(digit_rows[i].size());
+      for (std::uint64_t d : digit_rows[i]) {
+        blocks.emplace_back(static_cast<std::int64_t>(d));
+      }
+      if (blocks.empty()) blocks.emplace_back(0);
+      for (std::size_t level = 0; blocks.size() > 1; ++level) {
+        std::vector<BigInt> merged;
+        merged.reserve((blocks.size() + 1) / 2);
+        for (std::size_t b = 0; b < blocks.size(); b += 2) {
+          if (b + 1 < blocks.size()) {
+            merged.push_back(std::move(blocks[b]) +
+                             p_ladder[level] * blocks[b + 1]);
+          } else {
+            merged.push_back(std::move(blocks[b]));
+          }
+        }
+        blocks = std::move(merged);
+      }
+      std::optional<Rational> q =
+          ReconstructRational(blocks[0], modulus, bound);
+      if (!q.has_value()) {
+        all_ok.store(false, std::memory_order_relaxed);
+        return;
+      }
+      cand.At(i, j) = std::move(*q) * Rational(scale);
+    }
+  };
+  if (parallelism <= 1 || n < 2) {
+    for (std::size_t j = 0; j < n; ++j) {
+      lift_col(j);
+      if (!all_ok.load(std::memory_order_relaxed)) return std::nullopt;
+    }
+  } else {
+    GlobalThreadPool().ParallelFor(n, lift_col, parallelism);
+    if (!all_ok.load(std::memory_order_relaxed)) return std::nullopt;
+  }
+  const std::vector<std::uint64_t> screen =
+      FreshVerifyPrimes(options, drawn, options.verify_precheck_primes);
+  if (!VerifyInverseCandidate(m, cand, screen, parallelism, options.stats)) {
+    return std::nullopt;
+  }
+  return cand;
 }
 
 }  // namespace
@@ -244,6 +739,7 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
   std::size_t used = 0;
   std::size_t next_attempt = 1;
   std::size_t last_attempt_used = 0;
+  std::vector<std::uint64_t> drawn;  // Every prime examined, for freshness.
 
   // Parallelism for the fan-out stages (per-prime eliminations, the
   // lift's per-entry reconstructions, and the verification rows). An
@@ -258,13 +754,16 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
   }
 
   // Lift: rational reconstruction of every nontrivial entry, then the
-  // exact residual certificate. A failed lift just means "not enough
-  // primes yet". Reconstructions are independent per entry and the
-  // certificate is independent per row, so both stages fan out; each is a
-  // pure function of the accumulated residues, so the outcome is
-  // bit-identical at any thread count.
+  // fresh-prime residual screen, then the exact residual certificate. A
+  // failed lift just means "not enough primes yet"; a screen rejection
+  // means the reconstruction converged on a wrong candidate, which costs
+  // only word-size arithmetic to discover. Reconstructions are
+  // independent per entry and the certificate is independent per row, so
+  // both stages fan out; each is a pure function of the accumulated
+  // residues, so the outcome is bit-identical at any thread count.
   auto attempt_lift = [&]() -> std::optional<Rref> {
     last_attempt_used = used;
+    if (options.stats != nullptr) ++options.stats->lift_attempts;
     const BigInt bound =
         BigInt::FloorKthRoot((modulus - BigInt(1)) / BigInt(2), 2);
     std::vector<Rational> values(residues.size());
@@ -303,9 +802,17 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
             std::move(values[i * free_cols.size() + j]);
       }
     }
+    const std::vector<std::uint64_t> screen =
+        FreshVerifyPrimes(options, drawn, options.verify_precheck_primes);
+    if (!screen.empty() && !ModularResidualPreCheck(m, cand, screen)) {
+      if (options.stats != nullptr) ++options.stats->precheck_rejects;
+      return std::nullopt;
+    }
+    if (options.stats != nullptr) ++options.stats->exact_verifies;
     if (!VerifyRrefCandidate(m, cand, free_cols, parallelism)) {
       return std::nullopt;
     }
+    if (options.stats != nullptr) options.stats->primes_used = used;
     return cand;
   };
 
@@ -335,6 +842,7 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
         break;
       }
       batch[n].p = p;
+      drawn.push_back(p);
     }
     if (n == 0) break;
     auto eliminate = [&batch, &m](std::size_t i) {
@@ -424,6 +932,62 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
   return std::nullopt;
 }
 
+bool ModularResidualPreCheck(const Mat& a, const Rref& cand,
+                             const std::vector<std::uint64_t>& primes) {
+  std::vector<std::size_t> free_cols;
+  std::size_t next_pivot = 0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    if (next_pivot < cand.pivots.size() && cand.pivots[next_pivot] == c) {
+      ++next_pivot;
+    } else {
+      free_cols.push_back(c);
+    }
+  }
+  for (std::uint64_t p : primes) {
+    Zp zp(p);
+    std::optional<ModMat> am = ModMat::FromRationalMat(&zp, a);
+    if (!am.has_value()) continue;  // p divides a denominator: unusable.
+    std::optional<ModMat> cm = ModMat::FromRationalMat(&zp, cand.matrix);
+    if (!cm.has_value()) continue;
+    std::vector<std::uint64_t> coeff(cand.rank);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      for (std::size_t i = 0; i < cand.rank; ++i) {
+        coeff[i] = am->At(r, cand.pivots[i]);
+      }
+      // Pivot columns of the combination match automatically (the
+      // candidate carries a unit block there), exactly as in the exact
+      // certificate — only free columns can disagree.
+      for (std::size_t c : free_cols) {
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < cand.rank; ++i) {
+          sum = zp.Add(sum, zp.Mul(coeff[i], cm->At(i, c)));
+        }
+        if (sum != am->At(r, c)) return false;  // Certified mismatch.
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<Mat> TryModularInverse(const Mat& m,
+                                     const ModularOptions& options) {
+  const std::size_t n = m.rows();
+  if (m.cols() != n) return std::nullopt;
+  if (n == 0) return Mat(0, 0);  // Its own inverse, as on the exact path.
+  // Same fan-out policy as TryModularRref: explicit num_threads always
+  // honored, auto mode keeps tiny problems serial.
+  std::size_t parallelism = 1;
+  if (options.num_threads != 0) {
+    parallelism = options.num_threads;
+  } else if (n * n >= 64) {
+    parallelism = GlobalThreadPool().num_workers() + 1;
+  }
+  if (n >= options.dixon_min_dim) {
+    return DixonInverse(m, options, parallelism);
+  }
+  return CrtInverse(m, options, parallelism);
+}
+
 std::optional<std::size_t> ModularRankLowerBound(const Mat& m,
                                                 const ModularOptions& options) {
   if (m.rows() == 0 || m.cols() == 0) return 0;
@@ -466,9 +1030,7 @@ Rational DeterminantBareiss(const Mat& m) {
   for (std::size_t r = 0; r < n; ++r) {
     BigInt lcm(1);
     for (std::size_t c = 0; c < n; ++c) {
-      const BigInt& d = m.At(r, c).denominator();
-      if (d.IsOne()) continue;
-      lcm = lcm / BigInt::Gcd(lcm, d) * d;
+      FoldLcm(&lcm, m.At(r, c).denominator());
     }
     for (std::size_t c = 0; c < n; ++c) {
       const Rational& q = m.At(r, c);

@@ -13,10 +13,19 @@
 //      serial path at any thread count,
 //   2. combine residues by CRT and lift to Q by rational reconstruction
 //      (Wang's algorithm),
-//   3. **verify the lifted answer exactly** — a per-row residual check
+//   3. **screen the lifted candidate mod fresh primes** — primes disjoint
+//      from the reconstruction modulus, Freivalds-style, so a candidate
+//      the reconstruction converged on wrongly is rejected in word-size
+//      arithmetic (the reconstruction primes themselves satisfy the
+//      residual identities by CRT construction and would never reject),
+//   4. **verify the surviving answer exactly** — a per-row residual check
 //      plus the mod-p rank lower bound pins the unique rational RREF —
-//   4. and report failure (unlucky primes, prime budget exhausted) so the
+//   5. and report failure (unlucky primes, prime budget exhausted) so the
 //      caller can fall back to plain exact elimination.
+//
+// TryModularInverse applies the same discipline to A⁻¹ with two interior
+// strategies (per-prime inversion + CRT, or Dixon p-adic lifting) and an
+// exact A·A⁻¹ = I certificate behind the same fresh-prime screen.
 //
 // Every result returned here is therefore bit-for-bit identical to the
 // exact path; speed never trades against the paper's correctness
@@ -33,6 +42,26 @@
 #include "linalg/matrix.h"
 
 namespace bagdet {
+
+/// Counters the driver fills in when ModularOptions::stats is set — the
+/// observable record of how much work stayed in word-size arithmetic.
+/// Written only by the calling (fold) thread; fan-out workers never touch
+/// it, so a stack-local instance needs no synchronization.
+struct ModularStats {
+  /// Rational-reconstruction attempts (most fail early with "not enough
+  /// primes yet" before any candidate exists).
+  std::uint64_t lift_attempts = 0;
+  /// Lifted candidates killed by the fresh-prime residual pre-check —
+  /// rejections that cost word-size arithmetic instead of an exact pass.
+  std::uint64_t precheck_rejects = 0;
+  /// Full exact residual certificates run. With the pre-check on, this is
+  /// at most one per accepted result on any non-adversarial input.
+  std::uint64_t exact_verifies = 0;
+  /// Primes folded into the CRT modulus (TryModularRref / CRT inverse).
+  std::uint64_t primes_used = 0;
+  /// TryModularInverse took the Dixon p-adic path instead of CRT.
+  bool used_dixon = false;
+};
 
 /// Tuning knobs for the modular driver. Defaults are production settings;
 /// the prime-injection seam exists for tests (forcing unlucky primes) and
@@ -60,6 +89,38 @@ struct ModularOptions {
   /// path executes, and the lift/verify stages are pure per-entry/per-row
   /// functions of that fold's state.
   std::size_t num_threads = 0;
+  /// Number of *fresh* primes — disjoint from every prime folded into the
+  /// reconstruction modulus — that the verification stage screens a lifted
+  /// candidate against before the exact rational pass runs (0 disables the
+  /// screen). A nonzero residual mod any usable fresh prime certifies the
+  /// candidate wrong in word-size arithmetic; the exact pass runs only
+  /// when every screen passes, turning it into a last-mile confirmation
+  /// instead of the rejection workhorse. Freshness is what gives the
+  /// screen power: the reconstruction primes satisfy the residual
+  /// identities by CRT construction, so screening against them is vacuous.
+  std::size_t verify_precheck_primes = 2;
+  /// When set, pre-check primes are drawn from this list (in order)
+  /// instead of the built-in sequence, with NO disjointness filtering —
+  /// the test seam for forcing adversarial screens (e.g. re-using a
+  /// reconstruction prime so a bad candidate sails through the pre-check
+  /// and only the exact pass can reject it). Entries that divide a
+  /// denominator are skipped either way.
+  const std::vector<std::uint64_t>* verify_primes = nullptr;
+  /// Dimension at which TryModularInverse switches from per-prime
+  /// inversion + CRT to Dixon p-adic lifting (one inversion mod a single
+  /// prime, then digit lifting with word-size matrix–vector products).
+  /// Measured on the 1-core reference host, CRT stays 1.2–1.4× ahead of
+  /// Dixon through n = 40 at 32–256-bit entries (the shared
+  /// reconstruction/verification tail dominates before Dixon's cheaper
+  /// per-prime work can pay off — see BENCH_linalg.json), so the default
+  /// keeps practical sizes on the CRT path; Dixon's per-column fan-out
+  /// scales better with cores, so multicore deployments inverting very
+  /// large matrices can lower this. Tests force the Dixon path with 1;
+  /// SIZE_MAX disables it.
+  std::size_t dixon_min_dim = 64;
+  /// When non-null, the driver accumulates work counters here (see
+  /// ModularStats). Not reset on entry; callers zero it themselves.
+  ModularStats* stats = nullptr;
 };
 
 /// First `count` primes of the built-in sequence (largest primes below
@@ -71,6 +132,35 @@ const std::vector<std::uint64_t>& ModularPrimes(std::size_t count);
 /// std::nullopt when verification never succeeds within the prime budget.
 std::optional<Rref> TryModularRref(const Mat& m,
                                    const ModularOptions& options = {});
+
+/// Freivalds-style modular screen of an RREF candidate: evaluates the
+/// residual identities of the exact certificate — every row of `a` equals
+/// the combination of candidate pivot rows weighted by its own
+/// pivot-column entries — mod each prime in `primes`. Returns false only
+/// on a *certified* mismatch (some residual is nonzero mod a usable
+/// prime, hence nonzero over Q). Primes dividing any denominator of `a`
+/// or the candidate are unusable and skipped. `true` means "consistent
+/// mod every usable prime", which is NOT a proof: callers must still run
+/// the exact pass before returning the candidate, and must draw `primes`
+/// disjoint from the reconstruction modulus for the screen to have any
+/// rejection power (see ModularOptions::verify_precheck_primes).
+bool ModularResidualPreCheck(const Mat& a, const Rref& cand,
+                             const std::vector<std::uint64_t>& primes);
+
+/// Certified multi-modular inverse of a square rational matrix. Two
+/// strategies share a verification tail: per-prime Gauss–Jordan inversion
+/// + CRT residue accumulation + per-column rational reconstruction below
+/// ModularOptions::dixon_min_dim, and Dixon p-adic lifting (one inversion
+/// mod a single prime, then per-column digit lifting with word-size
+/// matrix–vector products and minor-bounded BigInt residual updates)
+/// at or above it. Every candidate passes the fresh-prime residual screen
+/// and then an exact A·A⁻¹ = I check (per-column, denominator-cleared
+/// integer arithmetic) before being returned, so results are bit-for-bit
+/// identical to InverseExact. Returns std::nullopt when the matrix is not
+/// square, appears singular mod every probed prime (the exact fallback
+/// settles it), or verification never succeeds within the prime budget.
+std::optional<Mat> TryModularInverse(const Mat& m,
+                                     const ModularOptions& options = {});
 
 /// Single-prime rank probe. rank_p(A) <= rank_Q(A) for every prime that
 /// does not divide a denominator, so the returned value is a *certified

@@ -98,6 +98,15 @@ class BigInt {
   /// 0 < m < 2^63; throws std::domain_error otherwise.
   std::uint64_t Mod(std::uint64_t m) const;
 
+  /// In-place truncated division by a word-size divisor: *this becomes the
+  /// quotient (rounded toward zero) and the magnitude of the remainder is
+  /// returned (the remainder's sign follows the original dividend, as with
+  /// operator%). The Dixon p-adic lifting loop divides whole residual
+  /// vectors by a 62-bit prime on every iteration, so this walks the limbs
+  /// once instead of routing through the general DivMod. Requires
+  /// 0 < divisor < 2^63; throws std::domain_error otherwise.
+  std::uint64_t DivModU64(std::uint64_t divisor);
+
   /// `base` raised to `exponent` (exponent >= 0). Pow(0, 0) == 1, matching
   /// the paper's convention 0^0 = 1.
   static BigInt Pow(const BigInt& base, std::uint64_t exponent);

@@ -22,6 +22,7 @@
 #include "linalg/modular_solve.h"
 #include "structs/pool.h"
 #include "structs/structure.h"
+#include "test_matrices.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -280,30 +281,14 @@ TEST(BoundedHomCacheTest, ConcurrentBatchesAgreeWithUncachedCounts) {
 
 // --- Parallel multi-modular driver ------------------------------------------
 
-BigInt RandomBig(Rng* rng, int limbs) {
-  BigInt x(0);
-  const BigInt base(static_cast<std::int64_t>(1) << 32);
-  for (int i = 0; i < limbs; ++i) {
-    x = x * base + BigInt(static_cast<std::int64_t>(rng->Below(1ull << 32)));
-  }
-  return x;
-}
-
 Mat RandomHugeMatrix(Rng* rng) {
   // Up to 11x11 so a good share of draws also clears the driver's
   // auto-mode size gate; the explicit num_threads below forces the
-  // parallel stages regardless.
+  // parallel stages regardless. 128-bit entries via the shared generator
+  // (tests/test_matrices.h).
   const std::size_t rows = 4 + rng->Below(8);
   const std::size_t cols = 4 + rng->Below(8);
-  Mat m(rows, cols);
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < cols; ++c) {
-      BigInt v = RandomBig(rng, 4);
-      if (rng->Below(2) == 0) v = -v;
-      m.At(r, c) = Rational(std::move(v));
-    }
-  }
-  return m;
+  return testmat::RandomBigMatrix(rng, rows, cols, 4);
 }
 
 TEST(ParallelModularTest, ParallelRrefIsBitIdenticalToSerial) {

@@ -9,6 +9,7 @@
 #include "query/cq.h"
 #include "structs/generator.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace bagdet {
 namespace {
@@ -107,6 +108,78 @@ TEST_P(DeterminacyPropertyTest, DecisionConsistentWithGroundTruth) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminacyPropertyTest,
                          ::testing::Values(1001, 1002, 1003, 1004, 1005, 1006,
                                            1007, 1008));
+
+// End-to-end invariance: for seeded random instances, the full verdict —
+// determined bit, witness exponents, counterexample coordinates — must be
+// bit-identical under every thread-pool width and under hom-cache
+// eviction pressure. This is the property the whole concurrent serving
+// core promises (order-preserving fan-outs, prime-order CRT folds, counts
+// as pure functions of interned classes); a cache- or parallelism-
+// dependent verdict is a soundness bug, not a flake.
+TEST(DeterminacyInvarianceTest, VerdictInvariantUnderThreadsAndCacheBudgets) {
+  // Unconditional restore: an ASSERT mid-loop must not leave the
+  // process-wide pool pinned at this test's width for the rest of the
+  // binary.
+  struct PoolRestorer {
+    ~PoolRestorer() { SetGlobalThreadPoolSize(0); }
+  } restore_pool;
+
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  Rng rng(77001);
+
+  struct Config {
+    std::size_t threads;
+    std::size_t cache_entries;  // 0 = unbounded library default.
+  };
+  const Config configs[] = {{1, 0}, {4, 0}, {1, 16}, {4, 16}};
+
+  for (int iter = 0; iter < 5; ++iter) {
+    ConjunctiveQuery q =
+        BooleanQueryFromStructure("q", RandomQueryBody(schema, &rng));
+    std::vector<ConjunctiveQuery> views;
+    const std::size_t num_views = 1 + rng.Below(3);
+    for (std::size_t i = 0; i < num_views; ++i) {
+      views.push_back(BooleanQueryFromStructure(
+          "v" + std::to_string(i), RandomQueryBody(schema, &rng)));
+    }
+
+    std::vector<DeterminacyResult> results;
+    for (const Config& config : configs) {
+      SetGlobalThreadPoolSize(config.threads);
+      DeterminacyOptions options;
+      options.hom_cache_max_entries = config.cache_entries;
+      results.push_back(DecideBagDeterminacy(views, q, options));
+    }
+
+    const DeterminacyResult& base = results[0];
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      const DeterminacyResult& other = results[i];
+      ASSERT_EQ(base.determined, other.determined)
+          << "iter " << iter << " config " << i << " q=" << q.ToString();
+      ASSERT_EQ(base.witness.has_value(), other.witness.has_value());
+      if (base.witness.has_value()) {
+        EXPECT_EQ(base.witness->view_indices, other.witness->view_indices)
+            << "iter " << iter << " config " << i;
+        EXPECT_EQ(base.witness->exponents, other.witness->exponents)
+            << "iter " << iter << " config " << i;
+      }
+      ASSERT_EQ(base.counterexample.has_value(),
+                other.counterexample.has_value());
+      if (base.counterexample.has_value()) {
+        const BagCounterexample& a = *base.counterexample;
+        const BagCounterexample& b = *other.counterexample;
+        EXPECT_EQ(a.coeffs_d, b.coeffs_d) << "iter " << iter << " cfg " << i;
+        EXPECT_EQ(a.coeffs_d_prime, b.coeffs_d_prime)
+            << "iter " << iter << " cfg " << i;
+        EXPECT_EQ(a.evaluation_matrix, b.evaluation_matrix)
+            << "iter " << iter << " cfg " << i;
+        EXPECT_EQ(a.z, b.z) << "iter " << iter << " cfg " << i;
+        EXPECT_EQ(a.t, b.t) << "iter " << iter << " cfg " << i;
+      }
+    }
+  }
+}
 
 // A targeted stress case: many views, mixed relevance, fractional witness.
 TEST(DeterminacyStressTest, MixedRelevanceInstance) {

@@ -13,11 +13,14 @@
 #include "linalg/matrix.h"
 #include "linalg/modmat.h"
 #include "linalg/modular_solve.h"
+#include "test_matrices.h"
 #include "util/bigint.h"
 #include "util/rng.h"
 
 namespace bagdet {
 namespace {
+
+using testmat::RandomBig;
 
 Rational Q(std::int64_t n, std::int64_t d = 1) {
   return Rational(BigInt(n), BigInt(d));
@@ -25,15 +28,6 @@ Rational Q(std::int64_t n, std::int64_t d = 1) {
 
 // The head of the driver's built-in prime sequence.
 constexpr std::uint64_t kFirstPrime = 4611686018427387847ull;
-
-BigInt RandomBig(Rng* rng, int limbs) {
-  BigInt x(0);
-  const BigInt base(static_cast<std::int64_t>(1) << 32);
-  for (int i = 0; i < limbs; ++i) {
-    x = x * base + BigInt(static_cast<std::int64_t>(rng->Below(1ull << 32)));
-  }
-  return x;
-}
 
 /// The six entry/shape regimes the suite sweeps. Every regime includes
 /// rank-deficient shapes (wide/tall dims) by construction.
@@ -54,25 +48,16 @@ Mat RandomMatrixFor(Regime regime, Rng* rng) {
   Mat m(rows, cols);
   switch (regime) {
     case Regime::kSmallInt:
-      for (std::size_t r = 0; r < rows; ++r) {
-        for (std::size_t c = 0; c < cols; ++c) {
-          m.At(r, c) = Q(rng->Range(-9, 9));
-        }
-      }
+      m = testmat::RandomIntMatrix(rng, rows, cols, -9, 9);
       break;
     case Regime::kSmallRational:
-      for (std::size_t r = 0; r < rows; ++r) {
-        for (std::size_t c = 0; c < cols; ++c) {
-          m.At(r, c) = Q(rng->Range(-12, 12), rng->Range(1, 12));
-        }
-      }
+      m = testmat::RandomRationalMatrix(rng, rows, cols, 12, 12);
       break;
     case Regime::kHugeInt:
       for (std::size_t r = 0; r < rows; ++r) {
         for (std::size_t c = 0; c < cols; ++c) {
-          BigInt v = RandomBig(rng, 4 + static_cast<int>(rng->Below(5)));
-          if (rng->Chance(1, 2)) v = -v;
-          m.At(r, c) = Rational(std::move(v));
+          m.At(r, c) = Rational(testmat::RandomBigSigned(
+              rng, 4 + static_cast<int>(rng->Below(5))));
         }
       }
       break;

@@ -1,0 +1,464 @@
+// Randomized differential suite for the verification fast path of the
+// certified multi-modular driver (linalg/modular_solve.h):
+//
+//  * the fresh-prime residual pre-check must reject every perturbed RREF
+//    candidate in word-size arithmetic, must accept the true RREF, and —
+//    crucially — an adversarial candidate built to vanish mod the
+//    screening primes must sail through the pre-check and be caught by
+//    the exact pass (the soundness argument for why the exact last mile
+//    can never be dropped);
+//  * the dedicated multi-modular inverse (CRT and Dixon strategies) must
+//    be bit-for-bit identical to the always-exact reference across six
+//    regimes — singular, huge-entry, rectangular rejection, identity,
+//    Hilbert-like ill-conditioned, random sparse — including forced-bad-
+//    prime fallbacks and at any thread count.
+//
+// The suites are seeded; BAGDET_DIFF_ITERS scales the case counts (the
+// nightly CI job runs ~10×) and failing seeds are appended to
+// BAGDET_FAIL_SEED_FILE for artifact upload (tests/test_matrices.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "linalg/gauss.h"
+#include "linalg/matrix.h"
+#include "linalg/modular_solve.h"
+#include "test_matrices.h"
+#include "util/bigint.h"
+#include "util/rng.h"
+
+namespace bagdet {
+namespace {
+
+// The head of the driver's built-in prime sequence.
+constexpr std::uint64_t kFirstPrime = 4611686018427387847ull;
+
+/// Scope-exit seed recorder for the nightly artifact: appends `seed` to
+/// BAGDET_FAIL_SEED_FILE when the enclosing test newly failed inside this
+/// recorder's scope. A destructor (rather than a trailing statement)
+/// catches ASSERT_* early returns as well as EXPECT_* fall-through — the
+/// most severe failures are exactly the ones that abort the test body.
+class SeedRecorder {
+ public:
+  explicit SeedRecorder(std::uint64_t seed)
+      : seed_(seed), failed_before_(::testing::Test::HasFailure()) {}
+  ~SeedRecorder() {
+    if (::testing::Test::HasFailure() && !failed_before_) {
+      testmat::RecordFailureSeed(seed_);
+    }
+  }
+  SeedRecorder(const SeedRecorder&) = delete;
+  SeedRecorder& operator=(const SeedRecorder&) = delete;
+
+ private:
+  std::uint64_t seed_;
+  bool failed_before_;
+};
+
+/// A random matrix drawn from one of the shapes the pre-check suite
+/// sweeps (dense small-int, small-rational, big-entry, exact-low-rank).
+Mat RandomPreCheckMatrix(Rng* rng) {
+  const std::size_t rows = 2 + rng->Below(6);
+  const std::size_t cols = 2 + rng->Below(6);
+  switch (rng->Below(4)) {
+    case 0:
+      return testmat::RandomIntMatrix(rng, rows, cols, -9, 9);
+    case 1:
+      return testmat::RandomRationalMatrix(rng, rows, cols, 9, 9);
+    case 2:
+      return testmat::RandomBigMatrix(rng, rows, cols, 3);
+    default: {
+      const std::size_t n = std::max(rows, static_cast<std::size_t>(3));
+      return testmat::RandomBigLowRankMatrix(rng, n, 1 + rng->Below(2), 2);
+    }
+  }
+}
+
+TEST(ResidualPreCheckTest, AcceptsTrueRrefAndRejectsPerturbedCandidates) {
+  const int cases = 120 * testmat::DiffIterScale();
+  int perturbed_checked = 0;
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed = 52000 + static_cast<std::uint64_t>(i);
+    SeedRecorder recorder(seed);
+    Rng rng(seed);
+    Mat m = RandomPreCheckMatrix(&rng);
+    Rref exact = ReduceToRrefExact(m);
+    const std::vector<std::uint64_t> screen = {ModularPrimes(2)[0],
+                                               ModularPrimes(2)[1]};
+    // The true RREF always passes the screen.
+    EXPECT_TRUE(ModularResidualPreCheck(m, exact, screen)) << "seed " << seed;
+
+    // Any perturbation of the nontrivial block is a certified mismatch:
+    // adding 1 to an entry changes the residual by a pivot-column
+    // coefficient that is nonzero for some row, and 1 is nonzero mod
+    // every 62-bit prime.
+    if (exact.rank > 0 && exact.rank < m.cols()) {
+      Rref bad = exact;
+      std::size_t free_col = m.cols();
+      std::size_t next_pivot = 0;
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        if (next_pivot < bad.pivots.size() && bad.pivots[next_pivot] == c) {
+          ++next_pivot;
+        } else {
+          free_col = c;
+          break;
+        }
+      }
+      ASSERT_LT(free_col, m.cols());
+      const std::size_t row = rng.Below(bad.rank);
+      bad.matrix.At(row, free_col) += Rational(1);
+      EXPECT_FALSE(ModularResidualPreCheck(m, bad, screen)) << "seed " << seed;
+      ++perturbed_checked;
+    }
+  }
+  EXPECT_GT(perturbed_checked, cases / 3);
+}
+
+TEST(ResidualPreCheckTest, AdversarialCandidatePassesCollidingPrimesOnly) {
+  // A candidate perturbed by a multiple of q1·q2 has residuals that
+  // vanish mod q1 and q2 — the screen with exactly those primes is blind
+  // to it, and only genuinely fresh primes (or the exact pass) can
+  // reject. This is why the driver (a) draws screening primes disjoint
+  // from the reconstruction modulus, whose primes are "colliding" by CRT
+  // construction, and (b) never returns a candidate on the screen's word
+  // alone.
+  const int cases = 10 * testmat::DiffIterScale();
+  const std::vector<std::uint64_t>& primes = ModularPrimes(4);
+  const BigInt collision =
+      BigInt(static_cast<std::int64_t>(primes[0])) *
+      BigInt(static_cast<std::int64_t>(primes[1]));
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed = 53000 + static_cast<std::uint64_t>(i);
+    SeedRecorder recorder(seed);
+    Rng rng(seed);
+    Mat m = testmat::RandomIntMatrix(&rng, 3 + rng.Below(3), 4 + rng.Below(3),
+                                     -9, 9);
+    Rref exact = ReduceToRrefExact(m);
+    if (exact.rank == 0 || exact.rank == m.cols()) continue;
+    Rref bad = exact;
+    std::size_t free_col = m.cols();
+    std::size_t next_pivot = 0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (next_pivot < bad.pivots.size() && bad.pivots[next_pivot] == c) {
+        ++next_pivot;
+      } else {
+        free_col = c;
+        break;
+      }
+    }
+    ASSERT_LT(free_col, m.cols());
+    bad.matrix.At(0, free_col) += Rational(collision);
+
+    const std::vector<std::uint64_t> colliding = {primes[0], primes[1]};
+    const std::vector<std::uint64_t> fresh = {primes[2], primes[3]};
+    EXPECT_TRUE(ModularResidualPreCheck(m, bad, colliding))
+        << "seed " << seed << ": screen with colliding primes must be blind";
+    EXPECT_FALSE(ModularResidualPreCheck(m, bad, fresh))
+        << "seed " << seed << ": fresh primes must certify the mismatch";
+  }
+}
+
+TEST(ResidualPreCheckTest, SabotagedScreenNeverLetsAWrongResultThrough) {
+  // End to end: reconstruction primes injected too few to cover the huge
+  // entries AND the screening primes forced to collide with them (so the
+  // pre-check is vacuous by CRT construction). Whatever happens — a
+  // declined lift or a served result — the driver must never return
+  // anything but the exact RREF: the exact pass is the final arbiter.
+  const int cases = 30 * testmat::DiffIterScale();
+  const std::vector<std::uint64_t>& table = ModularPrimes(8);
+  const std::vector<std::uint64_t> few(table.begin(), table.begin() + 3);
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed = 54000 + static_cast<std::uint64_t>(i);
+    SeedRecorder recorder(seed);
+    Rng rng(seed);
+    Mat m = testmat::RandomBigMatrix(&rng, 3 + rng.Below(3), 3 + rng.Below(3),
+                                     4 + static_cast<int>(rng.Below(3)));
+    ModularOptions sabotage;
+    sabotage.primes = &few;
+    sabotage.max_primes = few.size();
+    sabotage.verify_primes = &few;  // Screen collides: vacuous.
+    std::optional<Rref> got = TryModularRref(m, sabotage);
+    Rref exact = ReduceToRrefExact(m);
+    if (got.has_value()) {
+      EXPECT_EQ(got->rank, exact.rank) << "seed " << seed;
+      EXPECT_EQ(got->pivots, exact.pivots) << "seed " << seed;
+      EXPECT_EQ(got->matrix, exact.matrix) << "seed " << seed;
+    }
+    // The dispatching entry point (driver + exact fallback) always serves
+    // the exact answer.
+    Rref served = ReduceToRref(m);
+    EXPECT_EQ(served.matrix, exact.matrix) << "seed " << seed;
+  }
+}
+
+TEST(ResidualPreCheckTest, PreCheckOnAndOffAreBitIdentical) {
+  const int cases = 40 * testmat::DiffIterScale();
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed = 55000 + static_cast<std::uint64_t>(i);
+    SeedRecorder recorder(seed);
+    Rng rng(seed);
+    Mat m = RandomPreCheckMatrix(&rng);
+    ModularOptions off;
+    off.verify_precheck_primes = 0;
+    ModularOptions on;
+    on.verify_precheck_primes = 3;
+    std::optional<Rref> without = TryModularRref(m, off);
+    std::optional<Rref> with = TryModularRref(m, on);
+    ASSERT_EQ(without.has_value(), with.has_value()) << "seed " << seed;
+    if (with.has_value()) {
+      EXPECT_EQ(without->matrix, with->matrix) << "seed " << seed;
+      EXPECT_EQ(without->pivots, with->pivots) << "seed " << seed;
+      Rref exact = ReduceToRrefExact(m);
+      EXPECT_EQ(with->matrix, exact.matrix) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ResidualPreCheckTest, HugeLowRankRunsExactlyOneExactPassPerAccept) {
+  // The acceptance regime: n=24, rank 4, 256-bit entries — the workload
+  // where PR 4's profiling showed the exact verification certificate
+  // dominating TryModularRref. With the pre-check on, every rejection is
+  // handled modularly (reconstruction failure or word-size screen) and
+  // the exact rational pass runs exactly once: for the accepted result.
+  Rng rng(20260729);
+  Mat m = testmat::RandomBigLowRankMatrix(&rng, 24, 4, 8);
+  ModularStats stats;
+  ModularOptions options;
+  options.stats = &stats;
+  std::optional<Rref> got = TryModularRref(m, options);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->rank, 4u);
+  EXPECT_EQ(stats.exact_verifies, 1u)
+      << "the exact pass must be a last-mile confirmation, not a filter";
+  EXPECT_GE(stats.lift_attempts, 1u);
+  EXPECT_GT(stats.primes_used, 1u);
+
+  // Poisoned variant: scaling the entries by the product of the driver's
+  // first two primes makes those primes see a zero matrix, so the early
+  // rank-0 consensus *reconstructs* trivially and produces genuinely
+  // wrong candidates. Every one of them must die in the word-size screen
+  // — the exact pass still runs exactly once, for the accepted result.
+  const std::vector<std::uint64_t>& primes = ModularPrimes(2);
+  const Rational poison(BigInt(static_cast<std::int64_t>(primes[0])) *
+                        BigInt(static_cast<std::int64_t>(primes[1])));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) m.At(r, c) *= poison;
+  }
+  ModularStats poisoned;
+  options.stats = &poisoned;
+  got = TryModularRref(m, options);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->rank, 4u);
+  EXPECT_GT(poisoned.precheck_rejects, 0u)
+      << "spurious rank-0 candidates must be rejected modularly";
+  EXPECT_EQ(poisoned.exact_verifies, 1u);
+  EXPECT_EQ(got->matrix, ReduceToRrefExact(m).matrix);
+}
+
+// --- Multi-modular inverse differentials ----------------------------------
+
+/// The six regimes the inverse suite sweeps.
+enum class InverseRegime {
+  kSingular,       // Exact low-rank square: no inverse exists.
+  kHugeEntry,      // 64–128 bit integer entries.
+  kRectangular,    // Non-square: must be rejected outright.
+  kIdentity,       // I and scaled I (trivial p-adic expansions).
+  kHilbertLike,    // Ill-conditioned Cauchy structure, rational entries.
+  kRandomSparse,   // ~1/3 density integer entries.
+};
+
+Mat InverseCaseFor(InverseRegime regime, Rng* rng) {
+  const std::size_t n = 2 + rng->Below(5);
+  switch (regime) {
+    case InverseRegime::kSingular:
+      return testmat::RandomBigLowRankMatrix(rng, std::max<std::size_t>(n, 2),
+                                             1 + rng->Below(2), 1);
+    case InverseRegime::kHugeEntry:
+      return testmat::RandomBigMatrix(rng, n, n,
+                                      2 + static_cast<int>(rng->Below(3)));
+    case InverseRegime::kRectangular:
+      return testmat::RandomIntMatrix(rng, n, n + 1 + rng->Below(2), -5, 5);
+    case InverseRegime::kIdentity: {
+      Mat m = Mat::Identity(n);
+      if (rng->Chance(1, 2)) {
+        const Rational scale(BigInt(rng->Range(2, 50)));
+        for (std::size_t i = 0; i < n; ++i) m.At(i, i) *= scale;
+      }
+      return m;
+    }
+    case InverseRegime::kHilbertLike:
+      return testmat::HilbertLikeMatrix(n, rng->Below(4));
+    case InverseRegime::kRandomSparse:
+      return testmat::RandomSparseMatrix(rng, n, n, 1, 3, -9, 9);
+  }
+  return Mat();
+}
+
+TEST(ModularInverseTest, DifferentialAcrossSixRegimesAndBothStrategies) {
+  const InverseRegime regimes[] = {
+      InverseRegime::kSingular,    InverseRegime::kHugeEntry,
+      InverseRegime::kRectangular, InverseRegime::kIdentity,
+      InverseRegime::kHilbertLike, InverseRegime::kRandomSparse,
+  };
+  const int per_regime = 20 * testmat::DiffIterScale();
+  int fast_successes = 0;
+  int invertible_cases = 0;
+  for (const InverseRegime regime : regimes) {
+    for (int i = 0; i < per_regime; ++i) {
+      const std::uint64_t seed = 56000 +
+                                 1000 * static_cast<std::uint64_t>(regime) +
+                                 static_cast<std::uint64_t>(i);
+      SeedRecorder recorder(seed);
+      Rng rng(seed);
+      Mat m = InverseCaseFor(regime, &rng);
+      std::optional<Mat> exact = InverseExact(m);
+
+      // Both strategies, differentially against the exact reference: the
+      // CRT path (default for these dimensions) and the Dixon p-adic
+      // path (forced via dixon_min_dim = 1).
+      for (const std::size_t dixon_min : {std::size_t{100}, std::size_t{1}}) {
+        ModularOptions options;
+        options.dixon_min_dim = dixon_min;
+        std::optional<Mat> fast = TryModularInverse(m, options);
+        if (fast.has_value()) {
+          ASSERT_TRUE(exact.has_value())
+              << "seed " << seed << ": modular inverse of a singular matrix";
+          EXPECT_EQ(*fast, *exact) << "seed " << seed << " dixon_min "
+                                   << dixon_min;
+          ++fast_successes;
+        } else {
+          // Declining is only acceptable when there is nothing to find.
+          EXPECT_FALSE(exact.has_value())
+              << "seed " << seed << " dixon_min " << dixon_min
+              << ": driver declined an invertible matrix";
+        }
+      }
+      // The dispatching entry point agrees with the exact reference on
+      // presence and value.
+      std::optional<Mat> served = Inverse(m);
+      ASSERT_EQ(served.has_value(), exact.has_value()) << "seed " << seed;
+      if (exact.has_value()) {
+        EXPECT_EQ(*served, *exact) << "seed " << seed;
+        ++invertible_cases;
+      }
+    }
+  }
+  EXPECT_GT(invertible_cases, 0);
+  // The fast path must actually engage on the invertible cases (both
+  // strategies), not silently fall back everywhere.
+  EXPECT_GE(fast_successes, invertible_cases);
+}
+
+TEST(ModularInverseTest, ForcedBadPrimesFallBackToExact) {
+  // Entries all divisible by the injected prime: the matrix is zero mod
+  // p, every per-prime inversion fails, and the driver must decline —
+  // while the dispatching Inverse still serves the exact answer.
+  Rng rng(57001);
+  Mat m = testmat::RandomIntMatrix(&rng, 4, 4, 1, 9);
+  for (std::size_t r = 0; r < 4; ++r) {
+    m.At(r, r) += Rational(BigInt(20 + static_cast<std::int64_t>(r)));
+  }
+  const Rational p(BigInt(static_cast<std::int64_t>(kFirstPrime)));
+  Mat scaled = m;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) scaled.At(r, c) *= p;
+  }
+  std::optional<Mat> exact = InverseExact(scaled);
+  ASSERT_TRUE(exact.has_value());
+
+  std::vector<std::uint64_t> bad = {kFirstPrime};
+  for (const std::size_t dixon_min : {std::size_t{100}, std::size_t{1}}) {
+    ModularOptions options;
+    options.primes = &bad;
+    options.max_primes = bad.size();
+    options.dixon_min_dim = dixon_min;
+    EXPECT_FALSE(TryModularInverse(scaled, options).has_value());
+  }
+  std::optional<Mat> served = Inverse(scaled);
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(*served, *exact);
+
+  // Denominators divisible by the first prime: that prime is unusable
+  // (not merely unlucky) and the default driver must skip it and still
+  // produce the exact inverse.
+  Mat with_dens(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      with_dens.At(r, c) =
+          Rational(BigInt(static_cast<std::int64_t>(1 + r + 3 * c + (r == c))),
+                   (r + c) % 2 == 0 ? p.numerator() : BigInt(1));
+    }
+  }
+  std::optional<Mat> dens_exact = InverseExact(with_dens);
+  ASSERT_TRUE(dens_exact.has_value());
+  std::optional<Mat> dens_fast = TryModularInverse(with_dens);
+  ASSERT_TRUE(dens_fast.has_value());
+  EXPECT_EQ(*dens_fast, *dens_exact);
+}
+
+TEST(ModularInverseTest, ThreadCountsAndStrategiesAreBitIdentical) {
+  const int cases = 8 * testmat::DiffIterScale();
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed = 58000 + static_cast<std::uint64_t>(i);
+    SeedRecorder recorder(seed);
+    Rng rng(seed);
+    const std::size_t n = 4 + rng.Below(3);
+    Mat m = testmat::RandomBigMatrix(&rng, n, n, 2);
+    std::optional<Mat> exact = InverseExact(m);
+    std::optional<Mat> reference;
+    for (const std::size_t dixon_min : {std::size_t{100}, std::size_t{1}}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        ModularOptions options;
+        options.dixon_min_dim = dixon_min;
+        options.num_threads = threads;
+        std::optional<Mat> got = TryModularInverse(m, options);
+        if (exact.has_value()) {
+          ASSERT_TRUE(got.has_value())
+              << "seed " << seed << " threads " << threads;
+          EXPECT_EQ(*got, *exact) << "seed " << seed << " threads " << threads;
+          if (!reference.has_value()) reference = got;
+          EXPECT_EQ(*got, *reference) << "seed " << seed;
+        } else {
+          EXPECT_FALSE(got.has_value()) << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(ModularInverseTest, DixonPathMatchesExactOnAGenuinelyLargeMatrix) {
+  // One genuinely large case, n = 12 with 64-bit entries, on both
+  // strategies: the default dispatch stays on CRT (the measured winner at
+  // this size — see ModularOptions::dixon_min_dim), and the forced Dixon
+  // path must agree with the exact reference bit for bit with a single
+  // exact verification pass.
+  Rng rng(59001);
+  Mat m = testmat::RandomBigMatrix(&rng, 12, 12, 2);
+  std::optional<Mat> exact = InverseExact(m);
+  ASSERT_TRUE(exact.has_value());
+
+  ModularStats crt_stats;
+  ModularOptions crt;
+  crt.stats = &crt_stats;
+  std::optional<Mat> via_crt = TryModularInverse(m, crt);
+  ASSERT_TRUE(via_crt.has_value());
+  EXPECT_FALSE(crt_stats.used_dixon);
+  EXPECT_EQ(*via_crt, *exact);
+
+  ModularStats dixon_stats;
+  ModularOptions dixon;
+  dixon.dixon_min_dim = 1;
+  dixon.stats = &dixon_stats;
+  std::optional<Mat> via_dixon = TryModularInverse(m, dixon);
+  ASSERT_TRUE(via_dixon.has_value());
+  EXPECT_TRUE(dixon_stats.used_dixon);
+  EXPECT_EQ(dixon_stats.exact_verifies, 1u);
+  EXPECT_EQ(*via_dixon, *exact);
+}
+
+}  // namespace
+}  // namespace bagdet
