@@ -112,6 +112,23 @@ void BM_DecideDetermined(benchmark::State& state) {
 }
 BENCHMARK(BM_DecideDetermined)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(8);
 
+void BM_DecideDeterminedGoverned(benchmark::State& state) {
+  // Same workload through the governed entry point with an unlimited
+  // context: measures the pure overhead of the checkpoint/charge plumbing
+  // (TLS install, sampled clock reads, byte accounting). Compare against
+  // BM_DecideDetermined at the same k — the acceptance bar is <= 2%.
+  Instance inst = DeterminedInstance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ExecContext exec{ExecLimits{}};
+    benchmark::DoNotOptimize(DecideBagDeterminacyGoverned(
+        inst.views, inst.q, DeterminacyOptions(), exec));
+  }
+  state.SetLabel("k=" + std::to_string(state.range(0)) +
+                 " determined, governed (no limits)");
+}
+BENCHMARK(BM_DecideDeterminedGoverned)
+    ->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(8);
+
 void BM_DecideUndeterminedNoCertificate(benchmark::State& state) {
   Instance inst =
       UndeterminedInstance(static_cast<std::size_t>(state.range(0)));

@@ -1,10 +1,17 @@
 // bagdet_cli: command-line front-end for the determinacy checker.
 //
 // Usage:
-//   bagdet_cli cq   <file>            decide bag-determinacy of boolean CQs
-//   bagdet_cli path <file>            decide path-query determinacy (Thm. 1)
+//   bagdet_cli [flags] cq   <file>    decide bag-determinacy of boolean CQs
+//   bagdet_cli [flags] path <file>    decide path-query determinacy (Thm. 1)
 //   bagdet_cli eval <rules> <data>    evaluate every rule on a database
 //   bagdet_cli -                      read from stdin (cq mode)
+//
+// Flags (cq mode):
+//   --deadline-ms=N     abort the decision after N milliseconds
+//   --max-memory-mb=N   abort when governed kernels charge more than N MiB
+// Both accept "--flag N" and "--flag=N". When a limit trips the process
+// prints the typed execution status and exits with code 3 (0 = determined,
+// 1 = not determined, 2 = usage/input error).
 //
 // CQ input: datalog rules, one per line; the LAST rule is the query, all
 // earlier rules are views. Example:
@@ -21,6 +28,7 @@
 //
 // Eval data input: a fact list like "R(0,1), S(1,2), domain 5".
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,10 +39,11 @@
 #include "path/path_query.h"
 #include "query/parser.h"
 #include "structs/text.h"
+#include "util/exec_context.h"
 
 namespace {
 
-int RunCqMode(const std::string& text) {
+int RunCqMode(const std::string& text, const bagdet::ExecLimits& limits) {
   using namespace bagdet;
   QueryParser parser;
   std::vector<ConjunctiveQuery> rules = parser.ParseProgram(text);
@@ -44,7 +53,20 @@ int RunCqMode(const std::string& text) {
   }
   ConjunctiveQuery query = rules.back();
   rules.pop_back();
-  DeterminacyResult result = DecideBagDeterminacy(rules, query);
+  DeterminacyResult result;
+  if (limits.deadline_ms != 0 || limits.max_memory_bytes != 0) {
+    ExecContext exec(limits);
+    GovernedDecision decision =
+        DecideBagDeterminacyGoverned(rules, query, DeterminacyOptions(), exec);
+    if (!decision.result.has_value()) {
+      std::cout << "execution limit tripped: " << decision.status.ToString()
+                << "\n";
+      return 3;
+    }
+    result = std::move(*decision.result);
+  } else {
+    result = DecideBagDeterminacy(rules, query);
+  }
   std::cout << result.Summary() << "\n";
   if (result.counterexample.has_value()) {
     auto issue = VerifyCounterexample(result.analysis, *result.counterexample);
@@ -132,27 +154,67 @@ std::string ReadAll(const std::string& path) {
   return buffer.str();
 }
 
+/// Consumes "--name N" / "--name=N" from args; returns false on a
+/// malformed value (missing or non-numeric).
+bool TakeUint64Flag(std::vector<std::string>* args, const std::string& name,
+                    std::uint64_t* out) {
+  for (std::size_t i = 0; i < args->size(); ++i) {
+    const std::string& arg = (*args)[i];
+    std::string value;
+    if (arg == name) {
+      if (i + 1 >= args->size()) return false;
+      value = (*args)[i + 1];
+      args->erase(args->begin() + i, args->begin() + i + 2);
+    } else if (arg.rfind(name + "=", 0) == 0) {
+      value = arg.substr(name.size() + 1);
+      args->erase(args->begin() + i);
+    } else {
+      continue;
+    }
+    try {
+      std::size_t used = 0;
+      *out = std::stoull(value, &used);
+      return used == value.size();
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return true;  // Flag absent: leave *out untouched.
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    if (argc == 4 && std::string(argv[1]) == "eval") {
-      return RunEvalMode(ReadAll(argv[2]), ReadAll(argv[3]));
+    std::vector<std::string> args(argv + 1, argv + argc);
+    bagdet::ExecLimits limits;
+    std::uint64_t max_memory_mb = 0;
+    if (!TakeUint64Flag(&args, "--deadline-ms", &limits.deadline_ms) ||
+        !TakeUint64Flag(&args, "--max-memory-mb", &max_memory_mb)) {
+      std::cerr << "error: --deadline-ms/--max-memory-mb need a numeric "
+                   "value\n";
+      return 2;
+    }
+    limits.max_memory_bytes = max_memory_mb * 1024 * 1024;
+    if (args.size() == 3 && args[0] == "eval") {
+      return RunEvalMode(ReadAll(args[1]), ReadAll(args[2]));
     }
     std::string mode = "cq";
     std::string path = "-";
-    if (argc == 2) {
-      path = argv[1];
-    } else if (argc == 3) {
-      mode = argv[1];
-      path = argv[2];
-    } else if (argc != 1) {
-      std::cerr << "usage: bagdet_cli [cq|path] <file|->\n"
+    if (args.size() == 1) {
+      path = args[0];
+    } else if (args.size() == 2) {
+      mode = args[0];
+      path = args[1];
+    } else if (!args.empty()) {
+      std::cerr << "usage: bagdet_cli [--deadline-ms N] [--max-memory-mb N] "
+                   "[cq|path] <file|->\n"
                 << "       bagdet_cli eval <rules> <data>\n";
       return 2;
     }
     std::string text = ReadAll(path);
-    return mode == "path" ? RunPathMode(text) : RunCqMode(text);
+    return mode == "path" ? RunPathMode(text)
+                          : RunCqMode(text, limits);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -12,11 +12,12 @@
 
 namespace bagdet {
 
-GoodBasis BuildGoodBasis(const InstanceAnalysis& analysis,
-                         const DistinguisherOptions& options) {
+GoodBasisOutcome TryBuildGoodBasis(const InstanceAnalysis& analysis,
+                                   const DistinguisherOptions& options) {
   const std::vector<Structure>& w = analysis.basis_queries;
   const std::size_t k = w.size();
   const auto schema = analysis.query.schema_ptr();
+  GoodBasisOutcome outcome;
   GoodBasis basis;
 
   // The pipeline's shared memoized counter; hand-built analyses (tests,
@@ -46,12 +47,17 @@ GoodBasis BuildGoodBasis(const InstanceAnalysis& analysis,
   std::vector<StructureRef> step1_refs;
   for (std::size_t i = 0; i < k; ++i) {
     for (std::size_t j = i + 1; j < k; ++j) {
-      std::optional<Structure> h = FindDistinguisher(w[i], w[j], dist_options);
-      if (!h.has_value()) {
+      DistinguisherSearch search = SearchDistinguisher(w[i], w[j], dist_options);
+      if (search.outcome == DistinguisherOutcome::kIsomorphic) {
         throw std::logic_error(
             "BuildGoodBasis: basis queries not pairwise non-isomorphic");
       }
-      StructureRef ref = cache->pool().Intern(std::move(*h));
+      if (search.outcome == DistinguisherOutcome::kBoundsExhausted) {
+        outcome.status.code = ExecCode::kResourceExhausted;
+        outcome.status.kernel = "distinguisher";
+        return outcome;
+      }
+      StructureRef ref = cache->pool().Intern(std::move(*search.distinguisher));
       if (std::find(step1_refs.begin(), step1_refs.end(), ref) ==
           step1_refs.end()) {
         step1_refs.push_back(ref);
@@ -119,7 +125,20 @@ GoodBasis BuildGoodBasis(const InstanceAnalysis& analysis,
     throw std::logic_error(
         "BuildGoodBasis: evaluation matrix is singular (construction bug)");
   }
-  return basis;
+  outcome.basis = std::move(basis);
+  return outcome;
+}
+
+GoodBasis BuildGoodBasis(const InstanceAnalysis& analysis,
+                         const DistinguisherOptions& options) {
+  GoodBasisOutcome outcome = TryBuildGoodBasis(analysis, options);
+  if (!outcome.basis.has_value()) {
+    throw std::runtime_error(
+        "BuildGoodBasis: distinguisher search exhausted its bounds (" +
+        outcome.status.ToString() +
+        "); raise DistinguisherOptions::max_subset_domain");
+  }
+  return std::move(*outcome.basis);
 }
 
 }  // namespace bagdet

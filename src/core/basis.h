@@ -19,9 +19,11 @@
 #ifndef BAGDET_CORE_BASIS_H_
 #define BAGDET_CORE_BASIS_H_
 
+#include <optional>
 #include <vector>
 
 #include "core/determinacy.h"
+#include "util/exec_context.h"
 
 namespace bagdet {
 
@@ -36,9 +38,29 @@ struct GoodBasis {
   StructureExpr step2;           ///< s(2).
 };
 
+/// Outcome of TryBuildGoodBasis: `basis` is engaged iff `status.ok()`.
+/// The only non-ok status on well-formed input is kResourceExhausted with
+/// kernel "distinguisher" — the Step-1 search ran out of bounds (see
+/// DistinguisherOutcome::kBoundsExhausted); widening
+/// DistinguisherOptions::max_subset_domain resolves it.
+struct GoodBasisOutcome {
+  std::optional<GoodBasis> basis;
+  ExecStatus status;
+};
+
+/// Builds a good basis for the analyzed instance (Lemma 40), reporting
+/// distinguisher-bound exhaustion as a typed status instead of an
+/// exception. Still throws std::logic_error on internal invariant
+/// violations (a singular evaluation matrix after a successful search —
+/// impossible by construction).
+GoodBasisOutcome TryBuildGoodBasis(const InstanceAnalysis& analysis,
+                                   const DistinguisherOptions& options);
+
 /// Builds a good basis for the analyzed instance (Lemma 40). Throws
 /// std::logic_error if the construction fails to produce a nonsingular
-/// matrix (impossible if the distinguisher search succeeded).
+/// matrix (impossible if the distinguisher search succeeded) and
+/// std::runtime_error when the distinguisher search exhausts its bounds
+/// (wrapper over TryBuildGoodBasis for callers that prefer throwing).
 GoodBasis BuildGoodBasis(const InstanceAnalysis& analysis,
                          const DistinguisherOptions& options);
 

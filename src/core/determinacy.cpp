@@ -155,10 +155,44 @@ DeterminacyResult DecideBagDeterminacy(std::vector<ConjunctiveQuery> views,
     return result;
   }
   if (options.want_counterexample) {
-    GoodBasis basis = BuildGoodBasis(result.analysis, options.distinguisher);
-    result.counterexample = SynthesizeCounterexample(result.analysis, basis);
+    // Typed outcome instead of an exception: a distinguisher search that
+    // exhausts its bounds leaves the (valid) NOT-determined verdict in
+    // place with exec_status recording why the certificate is missing.
+    GoodBasisOutcome basis = TryBuildGoodBasis(result.analysis,
+                                               options.distinguisher);
+    if (basis.basis.has_value()) {
+      result.counterexample =
+          SynthesizeCounterexample(result.analysis, *basis.basis);
+    } else {
+      result.exec_status = basis.status;
+    }
   }
   return result;
+}
+
+GovernedAnalysis AnalyzeInstanceGoverned(std::vector<ConjunctiveQuery> views,
+                                         ConjunctiveQuery query,
+                                         ExecContext& exec) {
+  GovernedAnalysis out;
+  std::optional<InstanceAnalysis> analysis =
+      RunGoverned(exec, &out.status, [&] {
+        return AnalyzeInstance(std::move(views), std::move(query));
+      });
+  if (analysis.has_value()) out.analysis = std::move(*analysis);
+  return out;
+}
+
+GovernedDecision DecideBagDeterminacyGoverned(
+    std::vector<ConjunctiveQuery> views, ConjunctiveQuery query,
+    const DeterminacyOptions& options, ExecContext& exec) {
+  GovernedDecision out;
+  std::optional<DeterminacyResult> result =
+      RunGoverned(exec, &out.status, [&] {
+        return DecideBagDeterminacy(std::move(views), std::move(query),
+                                    options);
+      });
+  if (result.has_value()) out.result = std::move(*result);
+  return out;
 }
 
 bool CheckWitnessOnStructure(const InstanceAnalysis& analysis,
@@ -302,6 +336,8 @@ std::string DeterminacyResult::Summary() const {
          << ", |dom(D)| = " << counterexample->d.DomainSize().ToString()
          << ", |dom(D')| = " << counterexample->d_prime.DomainSize().ToString()
          << ".";
+    } else if (!exec_status.ok()) {
+      os << " Counterexample unavailable: " << exec_status.ToString() << ".";
     }
   }
   return os.str();

@@ -30,6 +30,7 @@
 #include "query/cq.h"
 #include "structs/pool.h"
 #include "structs/structure_expr.h"
+#include "util/exec_context.h"
 
 namespace bagdet {
 
@@ -112,6 +113,17 @@ struct DeterminacyResult {
                                                       ///< and not determined.
   InstanceAnalysis analysis;
 
+  /// Execution record for the run. ok() in the common case. The only
+  /// non-ok value the ungoverned entry point produces on well-formed input
+  /// is kResourceExhausted in kernel "distinguisher": counterexample
+  /// synthesis was requested, the verdict is NOT determined (the verdict
+  /// itself is always valid), but the distinguisher search exhausted its
+  /// bounds before a good basis existed — `counterexample` stays empty and
+  /// no exception escapes. Widen
+  /// DeterminacyOptions::distinguisher.max_subset_domain to recover the
+  /// certificate.
+  ExecStatus exec_status;
+
   /// Human-readable summary of the verdict and certificate.
   std::string Summary() const;
 };
@@ -120,6 +132,37 @@ struct DeterminacyResult {
 DeterminacyResult DecideBagDeterminacy(
     std::vector<ConjunctiveQuery> views, ConjunctiveQuery query,
     const DeterminacyOptions& options = DeterminacyOptions());
+
+/// AnalyzeInstance under an execution context: the hom-count kernels,
+/// canonical labeling searches and pool interning behind the analysis all
+/// checkpoint against `exec`'s deadline, cancellation token, and memory
+/// budget. `analysis` is engaged iff `status.ok()`; on a trip the status
+/// carries the tripping kernel and the bytes/elapsed at trip time, and the
+/// shared pool/caches of other requests are unaffected. Bit-identical to
+/// AnalyzeInstance whenever no limit trips. Malformed input (non-boolean
+/// query, schema mismatch, nullary atom) still throws
+/// std::invalid_argument exactly like AnalyzeInstance.
+struct GovernedAnalysis {
+  ExecStatus status;
+  std::optional<InstanceAnalysis> analysis;
+};
+GovernedAnalysis AnalyzeInstanceGoverned(std::vector<ConjunctiveQuery> views,
+                                         ConjunctiveQuery query,
+                                         ExecContext& exec);
+
+/// DecideBagDeterminacy under an execution context — the whole pipeline
+/// (analysis, span test, basis construction, counterexample synthesis)
+/// runs governed. `result` is engaged iff `status.ok()`; when engaged it
+/// is bit-identical to the ungoverned result (including its exec_status
+/// field, which records in-budget declines such as distinguisher
+/// exhaustion).
+struct GovernedDecision {
+  ExecStatus status;
+  std::optional<DeterminacyResult> result;
+};
+GovernedDecision DecideBagDeterminacyGoverned(
+    std::vector<ConjunctiveQuery> views, ConjunctiveQuery query,
+    const DeterminacyOptions& options, ExecContext& exec);
 
 /// Checks the witness formula on one concrete structure:
 /// returns true iff q(D) matches Π v_j(D)^α_j (or 0 when some v_j(D) = 0).

@@ -6,6 +6,7 @@
 #include "hom/hom.h"
 #include "hom/hom_cache.h"
 #include "structs/generator.h"
+#include "util/exec_context.h"
 #include "util/rng.h"
 
 namespace bagdet {
@@ -63,19 +64,22 @@ bool Distinguishes(const Structure& a, const Structure& b,
 
 }  // namespace
 
-std::optional<Structure> FindDistinguisher(const Structure& a,
-                                           const Structure& b,
-                                           const DistinguisherOptions& options) {
+DistinguisherSearch SearchDistinguisher(const Structure& a, const Structure& b,
+                                        const DistinguisherOptions& options) {
   HomCache* cache = options.hom_cache;
   if (cache != nullptr
           ? cache->pool().Intern(a) == cache->pool().Intern(b)
           : IsIsomorphic(a, b)) {
-    return std::nullopt;
+    return {DistinguisherOutcome::kIsomorphic, std::nullopt};
   }
   // Tier 0: the structures themselves (frequent cheap winners).
   const bool interned = cache != nullptr;
-  if (Distinguishes(a, b, a, options, interned)) return a;
-  if (Distinguishes(a, b, b, options, interned)) return b;
+  if (Distinguishes(a, b, a, options, interned)) {
+    return {DistinguisherOutcome::kFound, a};
+  }
+  if (Distinguishes(a, b, b, options, interned)) {
+    return {DistinguisherOutcome::kFound, b};
+  }
   // Tier 1: the complete induced-substructure family (see header). The
   // sweep mask is 64-bit, so domains of 64+ elements fall through to the
   // random tier regardless of max_subset_domain.
@@ -85,8 +89,11 @@ std::optional<Structure> FindDistinguisher(const Structure& a,
     if (side->DomainSize() > sweep_limit) continue;
     const std::uint64_t limit = 1ull << side->DomainSize();
     for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      ExecCheckPoint("distinguisher.sweep");
       Structure candidate = InducedSubstructure(*side, mask);
-      if (Distinguishes(a, b, candidate, options)) return candidate;
+      if (Distinguishes(a, b, candidate, options)) {
+        return {DistinguisherOutcome::kFound, std::move(candidate)};
+      }
     }
     // Both sweeps completing without a hit is impossible for non-isomorphic
     // inputs (see the header's completeness argument), so reaching the end
@@ -94,19 +101,33 @@ std::optional<Structure> FindDistinguisher(const Structure& a,
   }
   if (a.DomainSize() <= sweep_limit && b.DomainSize() <= sweep_limit) {
     throw std::logic_error(
-        "FindDistinguisher: induced-substructure sweep found nothing for "
+        "SearchDistinguisher: induced-substructure sweep found nothing for "
         "non-isomorphic structures (internal invariant violated)");
   }
-  // Tier 2: randomized fallback for oversized inputs.
+  // Tier 2: randomized fallback for oversized inputs. Exhausting it is a
+  // typed outcome, not an exception — callers own the policy.
   Rng rng(options.seed);
   for (int attempt = 0; attempt < options.random_attempts; ++attempt) {
+    ExecCheckPoint("distinguisher.sweep");
     std::size_t domain = 1 + rng.Below(options.max_random_domain);
     Structure candidate = RandomStructure(a.schema_ptr(), domain, &rng);
-    if (Distinguishes(a, b, candidate, options)) return candidate;
+    if (Distinguishes(a, b, candidate, options)) {
+      return {DistinguisherOutcome::kFound, std::move(candidate)};
+    }
   }
-  throw std::runtime_error(
-      "FindDistinguisher: inputs exceed max_subset_domain and random search "
-      "failed; raise DistinguisherOptions::max_subset_domain");
+  return {DistinguisherOutcome::kBoundsExhausted, std::nullopt};
+}
+
+std::optional<Structure> FindDistinguisher(const Structure& a,
+                                           const Structure& b,
+                                           const DistinguisherOptions& options) {
+  DistinguisherSearch search = SearchDistinguisher(a, b, options);
+  if (search.outcome == DistinguisherOutcome::kBoundsExhausted) {
+    throw std::runtime_error(
+        "FindDistinguisher: inputs exceed max_subset_domain and random search "
+        "failed; raise DistinguisherOptions::max_subset_domain");
+  }
+  return std::move(search.distinguisher);
 }
 
 }  // namespace bagdet

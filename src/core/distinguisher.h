@@ -55,10 +55,37 @@ struct DistinguisherOptions {
   std::size_t max_cached_candidate_domain = 10;
 };
 
+/// How a distinguisher search ended.
+enum class DistinguisherOutcome {
+  kFound = 0,       ///< `distinguisher` holds an H with the counts apart.
+  kIsomorphic = 1,  ///< a ≅ b — no distinguisher exists.
+  /// The inputs exceed max_subset_domain (so the complete sweep never ran)
+  /// and the randomized fallback exhausted its attempts. Not an error: the
+  /// caller decides whether to widen the bounds or surface a typed failure.
+  /// Cannot happen for query-sized components within max_subset_domain.
+  kBoundsExhausted = 2,
+};
+
+/// Result of SearchDistinguisher: `distinguisher` is engaged iff
+/// `outcome == kFound`.
+struct DistinguisherSearch {
+  DistinguisherOutcome outcome = DistinguisherOutcome::kBoundsExhausted;
+  std::optional<Structure> distinguisher;
+};
+
+/// Searches for a structure H with |hom(a, H)| ≠ |hom(b, H)|, reporting
+/// bound exhaustion as a typed outcome instead of an exception (the
+/// pipeline's governed entry points rely on this: no well-formed input may
+/// escape AnalyzeInstance/DecideBagDeterminacy as a throw).
+DistinguisherSearch SearchDistinguisher(
+    const Structure& a, const Structure& b,
+    const DistinguisherOptions& options = DistinguisherOptions());
+
 /// Finds a structure H with |hom(a, H)| ≠ |hom(b, H)|.
 /// Returns std::nullopt when a ≅ b (no such H exists) — and, if the inputs
 /// exceed every search bound, throws std::runtime_error (cannot happen for
-/// query-sized components within max_subset_domain).
+/// query-sized components within max_subset_domain). Thin wrapper over
+/// SearchDistinguisher for callers that prefer the optional shape.
 std::optional<Structure> FindDistinguisher(
     const Structure& a, const Structure& b,
     const DistinguisherOptions& options = DistinguisherOptions());

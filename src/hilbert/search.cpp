@@ -1,5 +1,7 @@
 #include "hilbert/search.h"
 
+#include "util/exec_context.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace bagdet {
@@ -35,8 +37,13 @@ std::optional<NonDeterminacyWitness> SearchNonDeterminacy(
   // order exactly, keeping the scan below (and the witness it returns)
   // deterministic at any thread count.
   std::vector<Entry> entries;
+  // The frontier grid is (bound+1)^|X| · 4 entries — exponential in the
+  // reduction's X-relations — so its materialization is charged against
+  // the governing request and every fill/scan step checkpoints.
+  ScopedCharge grid_mem("hilbert.search");
   std::vector<std::uint64_t> x_counts(reduction.x_relations.size(), 0);
   do {
+    ExecCheckPoint("hilbert.search");
     for (int h = 0; h <= 1; ++h) {
       for (int c = 0; c <= 1; ++c) {
         Entry entry;
@@ -46,8 +53,12 @@ std::optional<NonDeterminacyWitness> SearchNonDeterminacy(
         entries.push_back(std::move(entry));
       }
     }
+    grid_mem.Update(static_cast<std::uint64_t>(entries.capacity()) *
+                    (sizeof(Entry) + x_counts.size() * sizeof(std::uint64_t)));
   } while (NextCounts(&x_counts, bound));
   GlobalThreadPool().ParallelFor(entries.size(), [&](std::size_t i) {
+    ExecCheckPoint("hilbert.search");
+    BAGDET_FAILPOINT("hilbert/entry");
     Entry& entry = entries[i];
     Structure d =
         reduction.MakeStructure(entry.has_h, entry.has_c, entry.x_counts);
@@ -58,6 +69,7 @@ std::optional<NonDeterminacyWitness> SearchNonDeterminacy(
 
   for (std::size_t i = 0; i < entries.size(); ++i) {
     for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      ExecCheckPoint("hilbert.search");
       // Word-size modular fingerprints first; the exact BigInt vector
       // comparison only runs on a fingerprint collision.
       if (entries[i].views_fingerprint != entries[j].views_fingerprint) {

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "structs/index.h"
+#include "util/exec_context.h"
+#include "util/failpoint.h"
 
 namespace bagdet {
 
@@ -127,6 +129,11 @@ class Matcher {
   }
 
   bool RunFrom(std::size_t task_index) {
+    // The backtracking tree is the unbounded dimension here (hom(v, q)
+    // existence checks can be exponential with no early exit), so every
+    // node is a governed checkpoint.
+    ExecCheckPoint("hom.matcher");
+    BAGDET_FAILPOINT("hom/matcher");
     if (task_index == plan_.size()) return visit_(assignment_);
     const Task& task = plan_[task_index];
     if (!task.is_atom) {
@@ -225,6 +232,16 @@ class FlatTable {
     counts_.push_back(delta);
   }
 
+  /// Resident footprint (capacities, not sizes — what the allocator holds).
+  /// BigInt limb spill is not counted; the budget is an admission-control
+  /// estimate, not a malloc ledger.
+  std::uint64_t ApproxBytes() const {
+    return static_cast<std::uint64_t>(arena_.capacity()) * sizeof(Element) +
+           static_cast<std::uint64_t>(counts_.capacity()) * sizeof(BigInt) +
+           static_cast<std::uint64_t>(slots_.capacity()) *
+               sizeof(std::uint32_t);
+  }
+
  private:
   std::uint64_t HashKey(const Element* key) const {
     std::uint64_t h = 0x9e3779b97f4a7c15ull;
@@ -244,6 +261,7 @@ class FlatTable {
   }
 
   void Grow() {
+    BAGDET_FAILPOINT("hom/dp_table_grow");
     std::vector<std::uint32_t> fresh(slots_.size() * 2, 0);
     const std::size_t mask = fresh.size() - 1;
     for (std::size_t entry = 0; entry < counts_.size(); ++entry) {
@@ -296,7 +314,13 @@ BigInt CountComponent(const Structure& component, const Structure& to) {
   // correct if one ever appears in a plan: each contributes a free factor
   // of |dom(to)|.
   BigInt isolated_factor(1);
+  // Transient DP memory is accounted against the governing request: the
+  // held total tracks the live + under-construction tables and is
+  // released on every exit, including a tripped unwind.
+  ScopedCharge dp_mem("hom.dp");
   for (std::size_t i = 0; i < plan.size(); ++i) {
+    ExecCheckPoint("hom.dp");
+    BAGDET_FAILPOINT("hom/dp_step");
     const Task& task = plan[i];
     if (!task.is_atom) {
       isolated_factor *= BigInt(static_cast<std::int64_t>(to.DomainSize()));
@@ -355,9 +379,11 @@ BigInt CountComponent(const Structure& component, const Structure& to) {
       if (!carried) fresh_slots.push_back(s);
     }
     FlatTable next_table(kept.size());
+    const std::uint64_t prev_table_bytes = table.ApproxBytes();
     std::vector<Element> joined(next_live.size(), kUnassigned);
     std::vector<Element> projected(kept.size());
     for (std::size_t entry = 0; entry < table.size(); ++entry) {
+      ExecCheckPoint("hom.dp");
       const Element* key = table.Key(entry);
       const BigInt& count = table.Count(entry);
       // Fill the carried-over slots once per entry; fact probes only touch
@@ -386,6 +412,7 @@ BigInt CountComponent(const Structure& component, const Structure& to) {
       const std::size_t num_candidates =
           best_pos != npos ? bucket.size() : facts.size();
       for (std::size_t c = 0; c < num_candidates; ++c) {
+        ExecCheckPoint("hom.dp");
         const Tuple& fact =
             best_pos != npos ? facts[bucket.first[c]] : facts[c];
         for (std::size_t s : fresh_slots) joined[s] = kUnassigned;
@@ -404,6 +431,7 @@ BigInt CountComponent(const Structure& component, const Structure& to) {
         }
         next_table.Add(projected.data(), count);
       }
+      dp_mem.Update(prev_table_bytes + next_table.ApproxBytes());
     }
     live = std::move(kept);
     table = std::move(next_table);

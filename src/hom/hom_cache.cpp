@@ -4,6 +4,8 @@
 
 #include "hom/hom.h"
 #include "structs/index.h"
+#include "util/exec_context.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace bagdet {
@@ -23,6 +25,10 @@ HomCache::HomCache(std::shared_ptr<StructurePool> pool)
 
 void HomCache::InsertCount(CountShard& shard, std::uint64_t key,
                            const BigInt& count) {
+  // Injected faults here must land before the shard is touched: an
+  // aborted insert unwinds without the memoization, never with a
+  // half-linked LRU entry, and a rerun recomputes and re-inserts cleanly.
+  BAGDET_FAILPOINT("homcache/insert");
   const std::size_t footprint = EntryFootprint(sizeof(CacheEntry), count);
   const std::size_t entry_budget =
       std::max<std::size_t>(1, max_entries_ / kNumShards);
@@ -47,6 +53,7 @@ void HomCache::InsertCount(CountShard& shard, std::uint64_t key,
 }
 
 BigInt HomCache::CountPair(StructureRef from, StructureRef to) {
+  ExecCheckPoint("homcache.count");
   const std::uint64_t key = PairKey(from, to);
   CountShard& shard = count_shards_[ShardIndex(key)];
   {

@@ -6,11 +6,19 @@
 
 #include "linalg/modmat.h"
 #include "util/bigint.h"
+#include "util/exec_context.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace bagdet {
 
 namespace {
+
+/// Hard capacity of the built-in prime table (ModularPrimes). 64× the
+/// driver's hardest prime-budget clamp; PrimeAt treats the boundary as
+/// "sequence exhausted" so callers decline cleanly (exact fallback +
+/// ModularStats::budget_exhausted) instead of throwing mid-drive.
+constexpr std::size_t kPrimeTableCapacity = 65536;
 
 std::uint64_t MulModU64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
   return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % m);
@@ -62,6 +70,10 @@ std::uint64_t PrimeAt(const ModularOptions& options, std::size_t i) {
   if (options.primes != nullptr) {
     return i < options.primes->size() ? (*options.primes)[i] : 0;
   }
+  // Past the table's capacity the built-in sequence reports exhaustion (0)
+  // like a drained injected list — an absurd caller-supplied max_primes
+  // must not turn into a length_error from deep inside the fold loop.
+  if (i >= kPrimeTableCapacity) return 0;
   return ModularPrimes(i + 1)[i];
 }
 
@@ -200,6 +212,7 @@ bool VerifyRrefCandidate(const Mat& a, const Rref& cand,
   const std::size_t rank = cand.rank;
   std::atomic<bool> ok{true};
   auto check_row = [&](std::size_t r) {
+    ExecCheckPoint("linalg.modular");
     if (!ok.load(std::memory_order_relaxed)) return;  // Another row failed.
     std::vector<Rational> coeff(rank);
     for (std::size_t i = 0; i < rank; ++i) coeff[i] = a.At(r, cand.pivots[i]);
@@ -299,6 +312,7 @@ bool VerifyInverseCandidate(const Mat& a, const Mat& cand,
   }
   std::atomic<bool> ok{true};
   auto check_col = [&](std::size_t c) {
+    ExecCheckPoint("linalg.modular");
     if (!ok.load(std::memory_order_relaxed)) return;
     BigInt col_den(1);
     for (std::size_t k = 0; k < n; ++k) {
@@ -362,6 +376,9 @@ std::optional<Mat> CrtInverse(const Mat& m, const ModularOptions& options,
 
   BigInt modulus(1);
   std::vector<BigInt> residues(n * n, BigInt(0));
+  // Accumulated residues approach n² entries of |modulus| bits each —
+  // the transient footprint a governed request is accounted for.
+  ScopedCharge residue_mem("linalg.modular");
   std::size_t used = 0;
   std::size_t next_attempt = 1;
   std::size_t last_attempt_used = 0;
@@ -377,6 +394,7 @@ std::optional<Mat> CrtInverse(const Mat& m, const ModularOptions& options,
     Mat cand(n, n);
     std::atomic<bool> all_ok{true};
     auto lift_col = [&](std::size_t c) {
+      ExecCheckPoint("linalg.modular");
       if (!all_ok.load(std::memory_order_relaxed)) return;
       for (std::size_t r = 0; r < n; ++r) {
         std::optional<Rational> q =
@@ -429,6 +447,7 @@ std::optional<Mat> CrtInverse(const Mat& m, const ModularOptions& options,
     }
     if (batch_n == 0) break;
     auto invert = [&batch, &m](std::size_t i) {
+      ExecCheckPoint("linalg.modular");
       PrimeInv& e = batch[i];
       e.zp.emplace(e.p);
       std::optional<ModMat> mm = ModMat::FromRationalMat(&*e.zp, m);
@@ -443,6 +462,13 @@ std::optional<Mat> CrtInverse(const Mat& m, const ModularOptions& options,
     }
 
     for (std::size_t i = 0; i < batch_n; ++i) {
+      // Per-prime fold boundary: residues grow by ~62 bits each per fold,
+      // so a forced clock read here is noise next to the BigInt work and
+      // keeps deadline overshoot tight on huge moduli.
+      if (ExecContext* ctx = CurrentExecContext()) {
+        ctx->CheckNow("linalg.modular");
+      }
+      BAGDET_FAILPOINT("modular/crt_fold");
       const std::size_t prime_index = pi + i;
       PrimeInv& e = batch[i];
       if (!e.reduced) continue;  // p divides a denominator.
@@ -482,6 +508,8 @@ std::optional<Mat> CrtInverse(const Mat& m, const ModularOptions& options,
         modulus *= BigInt(static_cast<std::int64_t>(p));
         ++used;
       }
+      residue_mem.Update(static_cast<std::uint64_t>(residues.size()) *
+                         (sizeof(BigInt) + modulus.BitLength() / 8));
 
       if (used < next_attempt && prime_index + 1 < budget) continue;
       if (std::optional<Mat> cand = attempt_lift()) return cand;
@@ -492,6 +520,7 @@ std::optional<Mat> CrtInverse(const Mat& m, const ModularOptions& options,
   if (used > last_attempt_used) {
     if (std::optional<Mat> cand = attempt_lift()) return cand;
   }
+  if (options.stats != nullptr) ++options.stats->budget_exhausted;
   return std::nullopt;
 }
 
@@ -597,6 +626,7 @@ std::optional<Mat> DixonInverse(const Mat& m, const ModularOptions& options,
     std::vector<std::vector<std::uint64_t>> digit_rows(n);
     std::vector<std::uint64_t> digits(n);
     for (std::size_t it = 0; it < iters; ++it) {
+      ExecCheckPoint("linalg.modular");
       for (std::size_t i = 0; i < n; ++i) {
         digits[i] = z.To(residual[i].Mod(p));
       }
@@ -651,18 +681,28 @@ std::optional<Mat> DixonInverse(const Mat& m, const ModularOptions& options,
       cand.At(i, j) = std::move(*q) * Rational(scale);
     }
   };
+  auto note_exhausted = [&options]() {
+    if (options.stats != nullptr) ++options.stats->budget_exhausted;
+  };
   if (parallelism <= 1 || n < 2) {
     for (std::size_t j = 0; j < n; ++j) {
       lift_col(j);
-      if (!all_ok.load(std::memory_order_relaxed)) return std::nullopt;
+      if (!all_ok.load(std::memory_order_relaxed)) {
+        note_exhausted();
+        return std::nullopt;
+      }
     }
   } else {
     GlobalThreadPool().ParallelFor(n, lift_col, parallelism);
-    if (!all_ok.load(std::memory_order_relaxed)) return std::nullopt;
+    if (!all_ok.load(std::memory_order_relaxed)) {
+      note_exhausted();
+      return std::nullopt;
+    }
   }
   const std::vector<std::uint64_t> screen =
       FreshVerifyPrimes(options, drawn, options.verify_precheck_primes);
   if (!VerifyInverseCandidate(m, cand, screen, parallelism, options.stats)) {
+    note_exhausted();
     return std::nullopt;
   }
   return cand;
@@ -676,10 +716,11 @@ const std::vector<std::uint64_t>& ModularPrimes(std::size_t count) {
   // is reserved once up front so growth never reallocates: references
   // returned earlier stay valid while another thread extends the table —
   // required now that concurrent TryModularRref calls (and its worker
-  // batches) share this sequence. kCapacity is 64× the driver's hardest
-  // prime-budget clamp; exceeding it throws rather than invalidating
-  // published references.
-  static constexpr std::size_t kCapacity = 65536;
+  // batches) share this sequence. Exceeding the capacity throws rather
+  // than invalidating published references — the drivers never get here
+  // (PrimeAt reports exhaustion at the boundary), so the throw only guards
+  // direct misuse of this function.
+  static constexpr std::size_t kCapacity = kPrimeTableCapacity;
   static std::mutex mu;
   static std::vector<std::uint64_t> primes = {
       4611686018427387847ull, 4611686018427387817ull, 4611686018427387787ull,
@@ -736,6 +777,9 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
   std::vector<std::size_t> free_cols;
   BigInt modulus(1);
   std::vector<BigInt> residues;
+  // rank × free BigInt residues of |modulus| bits each — the transient
+  // footprint a governed request is accounted for.
+  ScopedCharge residue_mem("linalg.modular");
   std::size_t used = 0;
   std::size_t next_attempt = 1;
   std::size_t last_attempt_used = 0;
@@ -769,6 +813,7 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
     std::vector<Rational> values(residues.size());
     if (parallelism <= 1 || residues.size() < 8) {
       for (std::size_t i = 0; i < residues.size(); ++i) {
+        ExecCheckPoint("linalg.modular");
         std::optional<Rational> q =
             ReconstructRational(residues[i], modulus, bound);
         if (!q.has_value()) return std::nullopt;
@@ -779,6 +824,7 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
       GlobalThreadPool().ParallelFor(
           residues.size(),
           [&](std::size_t i) {
+            ExecCheckPoint("linalg.modular");
             if (!all_ok.load(std::memory_order_relaxed)) return;
             std::optional<Rational> q =
                 ReconstructRational(residues[i], modulus, bound);
@@ -846,6 +892,7 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
     }
     if (n == 0) break;
     auto eliminate = [&batch, &m](std::size_t i) {
+      ExecCheckPoint("linalg.modular");
       PrimeElim& e = batch[i];
       e.zp.emplace(e.p);
       e.mm = ModMat::FromRationalMat(&*e.zp, m);
@@ -858,6 +905,12 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
     }
 
     for (std::size_t i = 0; i < n; ++i) {
+      // Per-prime fold boundary (see CrtInverse): forced clock read plus
+      // the mid-CRT-fold injection site.
+      if (ExecContext* ctx = CurrentExecContext()) {
+        ctx->CheckNow("linalg.modular");
+      }
+      BAGDET_FAILPOINT("modular/crt_fold");
       const std::size_t prime_index = pi + i;
       PrimeElim& e = batch[i];
       if (!e.mm.has_value()) continue;  // p divides a denominator.
@@ -912,6 +965,8 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
       } else {
         continue;  // Strictly worse signature: provably unlucky prime.
       }
+      residue_mem.Update(static_cast<std::uint64_t>(residues.size()) *
+                         (sizeof(BigInt) + modulus.BitLength() / 8));
 
       // Geometric attempt schedule (the Euclid passes stay a small fraction
       // of the total work) — but always attempt on the last prime of the
@@ -929,7 +984,17 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
   if (have_consensus && used > last_attempt_used) {
     if (std::optional<Rref> cand = attempt_lift()) return cand;
   }
+  if (options.stats != nullptr) ++options.stats->budget_exhausted;
   return std::nullopt;
+}
+
+GovernedRref TryModularRrefGoverned(const Mat& m, ExecContext& exec,
+                                    const ModularOptions& options) {
+  GovernedRref out;
+  std::optional<std::optional<Rref>> result = RunGoverned(
+      exec, &out.status, [&] { return TryModularRref(m, options); });
+  if (result.has_value()) out.rref = std::move(*result);
+  return out;
 }
 
 bool ModularResidualPreCheck(const Mat& a, const Rref& cand,

@@ -40,6 +40,7 @@
 
 #include "linalg/gauss.h"
 #include "linalg/matrix.h"
+#include "util/exec_context.h"
 
 namespace bagdet {
 
@@ -61,6 +62,11 @@ struct ModularStats {
   std::uint64_t primes_used = 0;
   /// TryModularInverse took the Dixon p-adic path instead of CRT.
   bool used_dixon = false;
+  /// The driver exhausted its prime budget (or the built-in prime table's
+  /// capacity, or an injected prime list) without a verified lift and
+  /// declined, handing the call to the exact fallback. Never loops, never
+  /// asserts — this counter is the observable record of the exhaustion.
+  std::uint64_t budget_exhausted = 0;
 };
 
 /// Tuning knobs for the modular driver. Defaults are production settings;
@@ -132,6 +138,23 @@ const std::vector<std::uint64_t>& ModularPrimes(std::size_t count);
 /// std::nullopt when verification never succeeds within the prime budget.
 std::optional<Rref> TryModularRref(const Mat& m,
                                    const ModularOptions& options = {});
+
+/// Outcome of a governed driver run. `rref` can be disengaged with an ok
+/// status (the driver declined within budget — callers fall back to the
+/// exact path exactly as with TryModularRref) or because a limit tripped
+/// (status carries the kernel/bytes/elapsed of the trip).
+struct GovernedRref {
+  ExecStatus status;
+  std::optional<Rref> rref;
+};
+
+/// TryModularRref under `exec`: the per-prime fan-out, CRT fold, lift and
+/// verification stages all checkpoint against the context's deadline,
+/// cancellation token, and memory budget, and a trip is returned as a
+/// typed status instead of escaping as an exception. Bit-identical to
+/// TryModularRref whenever no limit trips.
+GovernedRref TryModularRrefGoverned(const Mat& m, ExecContext& exec,
+                                    const ModularOptions& options = {});
 
 /// Freivalds-style modular screen of an RREF candidate: evaluates the
 /// residual identities of the exact certificate — every row of `a` equals

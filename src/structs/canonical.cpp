@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "structs/refinement.h"
+#include "util/exec_context.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 
 namespace bagdet {
@@ -117,6 +119,10 @@ bool TranspositionIsAutomorphism(const Structure& s, Element a, Element b) {
 void SearchMinCertificate(const Structure& c,
                           const std::vector<std::uint32_t>& colors,
                           std::size_t num_colors, std::string* best) {
+  // Automorphism-sparse components pay the full branch set, which can be
+  // exponential — each tree node is a governed checkpoint.
+  ExecCheckPoint("canonical.search");
+  BAGDET_FAILPOINT("canonical/branch");
   const std::size_t n = c.DomainSize();
   if (num_colors == n) {
     std::string leaf = SerializeLeaf(c, colors);

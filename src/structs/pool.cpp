@@ -3,7 +3,32 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/exec_context.h"
+#include "util/failpoint.h"
+
 namespace bagdet {
+
+namespace {
+
+/// Projected resident footprint of interning `s`: domain + fact storage
+/// (tuple headers and elements, doubled for the positional index warmed at
+/// publication) + the canonical key. An admission-control estimate — the
+/// pool retains entries for its whole lifetime, so a governed request is
+/// charged for every *new* equivalence class it creates.
+std::uint64_t ProjectedFootprintBytes(const CanonicalKey& key,
+                                      const Structure& s) {
+  std::uint64_t bytes = 128 + key.bytes.size() +
+                        static_cast<std::uint64_t>(s.DomainSize()) *
+                            sizeof(Element);
+  for (RelationId r = 0; r < s.schema().NumRelations(); ++r) {
+    const std::size_t arity = s.schema().Arity(r);
+    bytes += static_cast<std::uint64_t>(s.Facts(r).size()) *
+             (sizeof(Tuple) + arity * sizeof(Element)) * 2;
+  }
+  return bytes;
+}
+
+}  // namespace
 
 StructurePool::~StructurePool() {
   for (Shard& shard : shards_) {
@@ -33,6 +58,14 @@ StructureRef StructurePool::InternWithKey(const CanonicalKey& key,
   if (block_index >= kMaxBlocks || local >= kMaxLocalIndex) {
     throw std::length_error("StructurePool: shard capacity exhausted");
   }
+  // Admission control: account the projected footprint against the
+  // governing request *before* any pool state is created, so a rejected
+  // intern leaves the shard exactly as it was (the lock_guard unwinds the
+  // mutex; by_key, the blocks, and count are untouched).
+  if (ExecContext* ctx = CurrentExecContext()) {
+    ctx->Charge(ProjectedFootprintBytes(key, s), "pool.intern");
+  }
+  BAGDET_FAILPOINT("pool/intern");
   std::unique_ptr<Entry> entry(new Entry{key, std::move(s)});
   // Freeze the representative before publication: once readers can reach
   // the entry lock-free, its lazy caches must never be (re)built. The

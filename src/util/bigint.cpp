@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/failpoint.h"
+
 namespace bagdet {
 
 namespace {
@@ -33,6 +35,9 @@ void BigInt::SetMagnitude(std::vector<std::uint32_t> limbs) {
     if (limbs.size() == 2) small_ |= static_cast<std::uint64_t>(limbs[1]) << 32;
     limbs_.clear();
   } else {
+    // The limb spill is the single point where a result commits to heap
+    // storage — the injection site modeling bignum allocation failure.
+    BAGDET_FAILPOINT("bigint/alloc");
     small_ = 0;
     limbs_ = std::move(limbs);
   }

@@ -1,0 +1,109 @@
+#include "util/exec_context.h"
+
+#include <sstream>
+
+namespace bagdet {
+namespace {
+
+// Target cadence for clock reads from sampled checkpoints. The stride
+// doubles while samples land closer together than kTightenBelow and backs
+// off when they drift past kRelaxAbove, so overshoot past a deadline stays
+// on the order of kTightenBelow..kRelaxAbove regardless of per-iteration
+// cost.
+constexpr std::chrono::microseconds kTightenBelow{250};
+constexpr std::chrono::milliseconds kRelaxAbove{4};
+constexpr std::uint32_t kMaxStride = 1u << 16;
+
+}  // namespace
+
+const char* ExecCodeName(ExecCode code) {
+  switch (code) {
+    case ExecCode::kOk:
+      return "ok";
+    case ExecCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ExecCode::kCancelled:
+      return "cancelled";
+    case ExecCode::kResourceExhausted:
+      return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+std::string ExecStatus::ToString() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  os << ExecCodeName(code) << " in " << (kernel.empty() ? "?" : kernel)
+     << " after " << elapsed_ms << " ms (" << bytes << " bytes charged)";
+  return os.str();
+}
+
+void ExecContext::CheckNow(const char* kernel) {
+  if (tripped()) {
+    throw ExecInterrupted(status());
+  }
+  if (cancel_.load(std::memory_order_acquire)) {
+    Trip(ExecCode::kCancelled, kernel);
+  }
+  if (deadline_armed_ && Clock::now() >= deadline_) {
+    Trip(ExecCode::kDeadlineExceeded, kernel);
+  }
+}
+
+void ExecContext::SampledCheck(const char* kernel,
+                               exec_internal::ExecTlsState* tls) {
+  const Clock::time_point now = Clock::now();
+  const auto since = now - tls->last_sample;
+  if (since < kTightenBelow) {
+    if (tls->stride < kMaxStride) tls->stride *= 2;
+  } else if (since > kRelaxAbove && tls->stride > 1) {
+    tls->stride = tls->stride >= 8 ? tls->stride / 8 : 1;
+  }
+  tls->last_sample = now;
+  tls->countdown = tls->stride;
+
+  if (tripped()) {
+    throw ExecInterrupted(status());
+  }
+  if (cancel_.load(std::memory_order_acquire)) {
+    Trip(ExecCode::kCancelled, kernel);
+  }
+  if (deadline_armed_ && now >= deadline_) {
+    Trip(ExecCode::kDeadlineExceeded, kernel);
+  }
+}
+
+void ExecContext::MarkTripped(ExecCode code, const char* kernel) {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  int expected = 0;
+  if (trip_code_.compare_exchange_strong(expected, static_cast<int>(code),
+                                         std::memory_order_acq_rel)) {
+    trip_kernel_ = kernel;
+    trip_bytes_ = bytes_charged_.load(std::memory_order_relaxed);
+    trip_elapsed_ms_ = elapsed_ms();
+  }
+}
+
+void ExecContext::Trip(ExecCode code, const char* kernel) {
+  MarkTripped(code, kernel);
+  throw ExecInterrupted(status());
+}
+
+ExecStatus ExecContext::status() const {
+  ExecStatus out;
+  if (!tripped()) {
+    out.bytes = bytes_charged();
+    out.elapsed_ms = elapsed_ms();
+    return out;
+  }
+  // The acquire load above pairs with the mutex-guarded record in
+  // MarkTripped: taking trip_mu_ here guarantees the record is complete.
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  out.code = static_cast<ExecCode>(trip_code_.load(std::memory_order_relaxed));
+  out.kernel = trip_kernel_;
+  out.bytes = trip_bytes_;
+  out.elapsed_ms = trip_elapsed_ms_;
+  return out;
+}
+
+}  // namespace bagdet

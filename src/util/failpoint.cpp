@@ -1,0 +1,135 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <unordered_map>
+
+#include "util/exec_context.h"
+
+namespace bagdet {
+namespace failpoint {
+namespace {
+
+struct SiteState {
+  Config config;
+  std::uint64_t hits = 0;
+  std::uint64_t rng = 0;  // splitmix64 state for the probabilistic trigger.
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, SiteState> sites;  // Guarded by mu.
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;  // Leaked: safe at exit.
+  return *registry;
+}
+
+// Fast-path gate: Evaluate bails on a single relaxed load while nothing is
+// armed, so compiled-in hooks stay near-free in un-injected runs.
+std::atomic<int> g_armed_sites{0};
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double NextUnit(std::uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, const Config& config) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.sites.insert_or_assign(
+      name, SiteState{config, /*hits=*/0, /*rng=*/config.seed});
+  static_cast<void>(it);
+  if (inserted) g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.sites.erase(name) != 0) {
+    g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_armed_sites.fetch_sub(static_cast<int>(registry.sites.size()),
+                          std::memory_order_relaxed);
+  registry.sites.clear();
+}
+
+std::uint64_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(name);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedNames() {
+  Registry& registry = GetRegistry();
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    names.reserve(registry.sites.size());
+    for (const auto& [name, state] : registry.sites) {
+      static_cast<void>(state);
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void Evaluate(const char* name) {
+  if (g_armed_sites.load(std::memory_order_relaxed) == 0) return;
+  Action action = Action::kOff;
+  std::uint32_t sleep_ms = 0;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.sites.find(name);
+    if (it == registry.sites.end()) return;
+    SiteState& site = it->second;
+    ++site.hits;
+    bool fire;
+    if (site.config.hit_on != 0) {
+      fire = site.hits == site.config.hit_on;
+    } else if (site.config.probability < 1.0) {
+      fire = NextUnit(&site.rng) < site.config.probability;
+    } else {
+      fire = true;
+    }
+    if (!fire) return;
+    action = site.config.action;
+    sleep_ms = site.config.sleep_ms;
+  }
+  switch (action) {
+    case Action::kOff:
+      break;
+    case Action::kCancel:
+      if (ExecContext* ctx = CurrentExecContext()) ctx->RequestCancel();
+      break;
+    case Action::kBadAlloc:
+      throw std::bad_alloc();
+    case Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      break;
+  }
+}
+
+}  // namespace failpoint
+}  // namespace bagdet

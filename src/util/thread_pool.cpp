@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "util/exec_context.h"
+
 namespace bagdet {
 
 ThreadPool::ThreadPool(std::size_t num_workers) {
@@ -65,12 +67,17 @@ void ThreadPool::ParallelFor(std::size_t n,
   // the shared_ptr keeps the state alive and an exhausted `next` makes
   // such stragglers no-ops. Completion is "every claimed index finished",
   // counted in `done` — an exception still counts its index as done, so
-  // the caller's wait below always terminates.
+  // the caller's wait below always terminates. After a first exception,
+  // `abort` makes the remaining indices no-ops (still counted), so a
+  // tripped ExecContext or any other failure unwinds without paying for
+  // the rest of the range.
   struct State {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
+    std::atomic<bool> abort{false};
     std::size_t n = 0;
     const std::function<void(std::size_t)>* body = nullptr;
+    ExecContext* exec = nullptr;  // Caller's governed context, if any.
     std::mutex mu;
     std::condition_variable cv;
     std::exception_ptr error;  // Guarded by mu; first error wins.
@@ -78,16 +85,27 @@ void ThreadPool::ParallelFor(std::size_t n,
   auto state = std::make_shared<State>();
   state->n = n;
   state->body = &body;
+  state->exec = CurrentExecContext();
 
   auto run = [](const std::shared_ptr<State>& s) {
+    // Workers inherit the caller's ExecContext for the duration of this
+    // range, so deadline/cancellation checkpoints and memory charges made
+    // inside `body` land on the governing request from every lane. (On the
+    // calling thread this reinstall is a no-op.)
+    ExecScope exec_scope(s->exec);
     for (;;) {
       const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= s->n) return;
-      try {
-        (*s->body)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(s->mu);
-        if (!s->error) s->error = std::current_exception();
+      if (!s->abort.load(std::memory_order_relaxed)) {
+        try {
+          (*s->body)(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(s->mu);
+            if (!s->error) s->error = std::current_exception();
+          }
+          s->abort.store(true, std::memory_order_relaxed);
+        }
       }
       if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
         std::lock_guard<std::mutex> lock(s->mu);

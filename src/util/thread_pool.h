@@ -56,9 +56,14 @@ class ThreadPool {
   /// with the calling thread participating; returns when all n calls have
   /// finished. At most `max_parallelism` threads touch the range when
   /// nonzero (1 forces a serial loop). The first exception thrown by
-  /// `body` is rethrown on the calling thread after the range completes.
-  /// Safe to call from inside a pool task (the caller self-drains; helper
-  /// tasks that fire late see an exhausted range and return immediately).
+  /// `body` is rethrown on the calling thread after the range completes;
+  /// indices claimed after that first failure are skipped, so a tripped
+  /// ExecContext (deadline/cancel/budget — see util/exec_context.h)
+  /// unwinds promptly across every lane. The caller's ExecContext, if
+  /// any, is installed in each participating worker for the duration of
+  /// the range. Safe to call from inside a pool task (the caller
+  /// self-drains; helper tasks that fire late see an exhausted range and
+  /// return immediately).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
                    std::size_t max_parallelism = 0);
 
