@@ -1,0 +1,170 @@
+#include "hom/domain.h"
+
+#include <algorithm>
+
+#include "util/exec_context.h"
+
+namespace bagdet {
+
+namespace {
+
+constexpr Element kNoValue = static_cast<Element>(-1);
+
+}  // namespace
+
+DomainModel::DomainModel(const Structure& from, const Structure& to)
+    : to_(&to),
+      index_(&to.Index()),
+      num_vars_(from.DomainSize()),
+      target_size_(to.DomainSize()) {
+  atoms_of_var_.resize(num_vars_);
+  for (RelationId r = 0; r < from.schema().NumRelations(); ++r) {
+    for (const Tuple& t : from.Facts(r)) {
+      if (t.empty()) continue;  // Nullary atoms bind nothing.
+      Atom atom;
+      atom.relation = r;
+      atom.tuple = t;
+      atom.var_slot.resize(t.size());
+      for (std::size_t pos = 0; pos < t.size(); ++pos) {
+        auto it = std::find(atom.vars.begin(), atom.vars.end(), t[pos]);
+        if (it == atom.vars.end()) {
+          atom.var_slot[pos] = static_cast<std::uint32_t>(atom.vars.size());
+          atom.vars.push_back(t[pos]);
+        } else {
+          atom.var_slot[pos] =
+              static_cast<std::uint32_t>(it - atom.vars.begin());
+        }
+      }
+      const std::uint32_t id = static_cast<std::uint32_t>(atoms_.size());
+      for (Element v : atom.vars) atoms_of_var_[v].push_back(id);
+      atoms_.push_back(std::move(atom));
+    }
+  }
+}
+
+bool DomainModel::ReviseAtom(std::uint32_t a, DomainSet* doms,
+                             std::vector<Element>* changed) const {
+  // Propagation is part of the governed surface: a deadline or cancel must
+  // trip inside domain pruning too, not only between DP steps.
+  ExecCheckPoint("hom.domains");
+  const Atom& atom = atoms_[a];
+  const std::vector<Tuple>& facts = to_->Facts(atom.relation);
+  const std::size_t arity = atom.tuple.size();
+  const std::size_t num_vars = atom.vars.size();
+  // Fresh support accumulators, one per distinct variable of the atom.
+  std::vector<SVOBitset> supports;
+  supports.reserve(num_vars);
+  for (std::size_t i = 0; i < num_vars; ++i) {
+    supports.emplace_back(target_size_);
+  }
+  // Candidate facts: when some position's domain is a singleton, its index
+  // bucket is strictly smaller than the full fact list — drive the scan
+  // from the smallest such bucket.
+  FactIdSpan bucket;
+  bool have_bucket = false;
+  std::size_t best_size = facts.size();
+  for (std::size_t pos = 0; pos < arity; ++pos) {
+    const SVOBitset& d = doms->domain(atom.tuple[pos]);
+    const std::size_t first = d.FindFirst();
+    if (first == SVOBitset::npos) return false;  // Already empty.
+    if (d.FindNext(first + 1) != SVOBitset::npos) continue;  // Not singleton.
+    const std::size_t size =
+        index_->BucketSize(atom.relation, pos, static_cast<Element>(first));
+    if (size < best_size || !have_bucket) {
+      best_size = size;
+      bucket = index_->Bucket(atom.relation, pos, static_cast<Element>(first));
+      have_bucket = true;
+      if (size == 0) break;
+    }
+  }
+  const std::size_t num_candidates = have_bucket ? bucket.size() : facts.size();
+  std::vector<Element> values(num_vars);
+  for (std::size_t c = 0; c < num_candidates; ++c) {
+    const Tuple& fact = facts[have_bucket ? bucket.first[c] : c];
+    std::fill(values.begin(), values.end(), kNoValue);
+    bool ok = true;
+    for (std::size_t pos = 0; pos < arity && ok; ++pos) {
+      const std::uint32_t slot = atom.var_slot[pos];
+      const Element value = fact[pos];
+      if (values[slot] == kNoValue) {
+        // Repeated variables must see one value across their positions;
+        // each position's value must lie in the current domain.
+        ok = doms->domain(atom.tuple[pos]).Test(value);
+        values[slot] = value;
+      } else {
+        ok = values[slot] == value;
+      }
+    }
+    if (!ok) continue;
+    for (std::size_t i = 0; i < num_vars; ++i) supports[i].Set(values[i]);
+  }
+  for (std::size_t i = 0; i < num_vars; ++i) {
+    SVOBitset& domain = doms->mutable_domain(atom.vars[i]);
+    if (domain == supports[i]) continue;
+    // Supports only ever contain domain members, so this is the
+    // intersection domain ∩ support.
+    domain = std::move(supports[i]);
+    if (changed != nullptr) changed->push_back(atom.vars[i]);
+    if (domain.None()) return false;
+  }
+  return true;
+}
+
+bool DomainModel::Propagate(DomainSet* doms) const {
+  if (atoms_.empty()) return true;
+  // FIFO worklist seeded with every atom in id order; a shrunk variable
+  // re-queues the atoms it occurs in. Deterministic: queue order depends
+  // only on the (deterministic) revision sequence.
+  std::vector<std::uint32_t> queue(atoms_.size());
+  for (std::uint32_t a = 0; a < atoms_.size(); ++a) queue[a] = a;
+  std::vector<bool> queued(atoms_.size(), true);
+  std::vector<Element> changed;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const std::uint32_t a = queue[head++];
+    queued[a] = false;
+    changed.clear();
+    if (!ReviseAtom(a, doms, &changed)) return false;
+    for (Element v : changed) {
+      for (std::uint32_t b : atoms_of_var_[v]) {
+        if (!queued[b]) {
+          queued[b] = true;
+          queue.push_back(b);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool DomainModel::InitialDomains(DomainSet* doms) const {
+  doms->domains_.assign(num_vars_, SVOBitset(target_size_, /*all_set=*/true));
+  // Unary occupancy prune: every (relation, position) a variable occupies
+  // restricts it to targets present in that position's buckets.
+  for (const Atom& atom : atoms_) {
+    for (std::size_t pos = 0; pos < atom.tuple.size(); ++pos) {
+      SVOBitset& domain = doms->mutable_domain(atom.tuple[pos]);
+      if (!domain.IntersectWith(index_->PresentMask(atom.relation, pos))) {
+        return false;
+      }
+    }
+  }
+  // Variables in no atom (isolated elements) keep the full target domain;
+  // with an empty target they are unsatisfiable.
+  if (target_size_ == 0 && num_vars_ > 0) return false;
+  return Propagate(doms);
+}
+
+bool DomainModel::Bind(DomainSet* doms, Element v, Element image) const {
+  SVOBitset& domain = doms->mutable_domain(v);
+  if (!domain.Test(image)) return false;
+  SVOBitset singleton(target_size_);
+  singleton.Set(image);
+  domain = std::move(singleton);
+  for (std::uint32_t a : atoms_of_var_[v]) {
+    if (!ReviseAtom(a, doms, nullptr)) return false;
+  }
+  return true;
+}
+
+}  // namespace bagdet

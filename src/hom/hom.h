@@ -9,6 +9,7 @@
 #ifndef BAGDET_HOM_HOM_H_
 #define BAGDET_HOM_HOM_H_
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -17,9 +18,59 @@
 
 namespace bagdet {
 
+/// Knobs for the counting engine. The defaults are the production
+/// configuration; the ablation baselines in bench_hom flip them off to
+/// measure each layer (use_domains=false + order_search_max_atoms=0 +
+/// num_threads=1 is the PR-1 engine).
+struct DpOptions {
+  /// Per-variable candidate domains (hom/domain.h): SVOBitsets seeded from
+  /// the positional index's occupancy masks, pre-pruned to an atom-support
+  /// fixpoint, and consulted on every candidate fact so infeasible
+  /// subtrees die before table insertion. The Matcher additionally
+  /// propagates domains as variables bind.
+  bool use_domains = true;
+
+  /// The domain layer has a fixed cost (model construction + the
+  /// atom-support fixpoint) that tiny instances never amortize, so it only
+  /// engages when the uniform-weight work estimate of the plan (sum over
+  /// steps of the domain-product table bound) reaches this many units AND
+  /// at least 4× the fixpoint's own bucket-scan cost. The default is the
+  /// measured crossover on the small-structure fast path
+  /// (BM_SmallStructureFastPath). 0 always builds domains.
+  double domain_min_work = 1 << 12;
+
+  /// The exact subset-DP elimination-order search (scored by the
+  /// induced-width/domain-product table bound) runs during the
+  /// pruned-domain re-plan when a component has 3..this many atoms, at
+  /// most 64 variables, and the plan's estimated work is at least 8× the
+  /// search's own 2^atoms·atoms cost — the search never spends more than
+  /// it can save, and without pruned domains its score degenerates to
+  /// induced width where the greedy min-new-live-vars order is already
+  /// near-optimal. 0 disables the search entirely. The hard cap is 16
+  /// atoms (the subset table stays a few MB; see ROADMAP for the
+  /// measured crossover).
+  std::size_t order_search_max_atoms = 12;
+
+  /// A single component count is split across the global ThreadPool —
+  /// partitioning the first-bound variable's pruned domain into
+  /// per-worker sub-counts folded in fixed order, bit-identical at any
+  /// thread count — when the estimated DP work (sum over plan steps of
+  /// the live-domain-product table bound) reaches this many units.
+  /// Requires use_domains. 0 splits whenever a second lane exists.
+  double parallel_split_min_work = 1 << 16;
+
+  /// Lanes for the parallel split: 0 = the global pool's full width,
+  /// 1 = always serial.
+  std::size_t num_threads = 0;
+};
+
 /// Number of homomorphisms from `from` to `to`. Exact (BigInt); note
 /// |hom(∅, D)| = 1.
 BigInt CountHoms(const Structure& from, const Structure& to);
+
+/// Same, with explicit engine knobs.
+BigInt CountHoms(const Structure& from, const Structure& to,
+                 const DpOptions& options);
 
 /// True iff at least one homomorphism exists (early-exit search).
 bool ExistsHom(const Structure& from, const Structure& to);

@@ -52,7 +52,8 @@ void HomCache::InsertCount(CountShard& shard, std::uint64_t key,
   }
 }
 
-BigInt HomCache::CountPair(StructureRef from, StructureRef to) {
+BigInt HomCache::CountPair(StructureRef from, StructureRef to,
+                           bool serial_engine) {
   ExecCheckPoint("homcache.count");
   const std::uint64_t key = PairKey(from, to);
   CountShard& shard = count_shards_[ShardIndex(key)];
@@ -66,7 +67,9 @@ BigInt HomCache::CountPair(StructureRef from, StructureRef to) {
     }
     ++shard.misses;
   }
-  BigInt count = CountHoms(pool_->At(from), pool_->At(to));
+  DpOptions options;
+  if (serial_engine) options.num_threads = 1;
+  BigInt count = CountHoms(pool_->At(from), pool_->At(to), options);
   InsertCount(shard, key, count);
   return count;
 }
@@ -150,7 +153,10 @@ std::vector<BigInt> HomCache::BatchCountHoms(
   GlobalThreadPool().ParallelFor(
       pairs.size(),
       [&](std::size_t i) {
-        results[i] = CountPair(pairs[i].first, pairs[i].second);
+        // Workers fill the pool already — run each miss serially instead
+        // of nesting a parallel split per count.
+        results[i] = CountPair(pairs[i].first, pairs[i].second,
+                               /*serial_engine=*/true);
       },
       num_threads);
   return results;

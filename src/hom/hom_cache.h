@@ -148,7 +148,11 @@ class HomCache {
   };
 
   /// Returns the cached count or computes-and-caches it. Thread-safe.
-  BigInt CountPair(StructureRef from, StructureRef to);
+  /// `serial_engine` pins the miss computation to one lane — the batch
+  /// driver's workers already occupy the pool, so a nested parallel split
+  /// would only thrash it.
+  BigInt CountPair(StructureRef from, StructureRef to,
+                   bool serial_engine = false);
 
   /// Inserts under the shard lock and evicts LRU entries past the budgets.
   void InsertCount(CountShard& shard, std::uint64_t key, const BigInt& count);

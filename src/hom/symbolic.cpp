@@ -4,6 +4,7 @@
 
 #include "hom/hom.h"
 #include "hom/hom_cache.h"
+#include "util/exec_context.h"
 
 namespace bagdet {
 
@@ -14,6 +15,10 @@ namespace {
 /// memoized HomCache lookup keyed by the source's interned ref).
 template <typename LeafCount>
 BigInt Eval(const StructureExpr& expr, const LeafCount& leaf_count) {
+  // Expression trees can be deep and wide (nested sums of products over
+  // many leaves); a checkpoint per node keeps the walk governed even when
+  // every leaf is a cache hit.
+  ExecCheckPoint("hom.symbolic");
   switch (expr.kind()) {
     case StructureExpr::Kind::kBase:
       return leaf_count(expr.base());

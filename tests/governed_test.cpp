@@ -229,7 +229,12 @@ TEST_F(GovernedTest, DeadlineTripsAdversarialAnalyze) {
   GovernedAnalysis out = AnalyzeInstanceGoverned(inst.views, inst.query, exec);
   ASSERT_FALSE(out.analysis.has_value());
   EXPECT_EQ(out.status.code, ExecCode::kDeadlineExceeded);
-  EXPECT_EQ(out.status.kernel, "hom.matcher");
+  // The backtracking search checkpoints both at its nodes (hom.matcher)
+  // and inside per-binding domain propagation (hom.domains) — either may
+  // observe the deadline first.
+  EXPECT_TRUE(out.status.kernel == "hom.matcher" ||
+              out.status.kernel == "hom.domains")
+      << out.status.kernel;
   // Overshoot bound: the sampler targets ~1ms between clock reads, so even
   // on a loaded CI host the trip lands well under 10x the deadline.
   EXPECT_LT(out.status.elapsed_ms, 500.0);
@@ -629,6 +634,55 @@ TEST_F(GovernedTest, InjectedAllocFailureLeavesHomCacheConsistent) {
   EXPECT_EQ(cache.Count(from, to), expected);
   EXPECT_EQ(cache.Count(from, to), expected);  // Now a cache hit.
   EXPECT_GE(cache.stats().hits, 1u);
+}
+
+TEST_F(GovernedTest, InjectedFaultMidDomainSplit) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "requires -DBAGDET_FAILPOINTS=ON";
+  }
+  // Force the parallel single-count split (threshold 0, 4 lanes) so the
+  // hom/domain_split site fires inside the per-chunk workers; both fault
+  // flavors must unwind cleanly through the ThreadPool fan-in and leave a
+  // disarmed rerun bit-identical.
+  auto schema = GraphSchema();
+  Structure from = SymmetricCycle(schema, 5);
+  Structure to = FullDigraph(schema, 5);
+  DpOptions split;
+  split.num_threads = 4;
+  split.parallel_split_min_work = 0;
+  split.domain_min_work = 0;  // Domains regardless of instance size.
+  const BigInt baseline = CountHoms(from, to);
+  ASSERT_EQ(CountHoms(from, to, split), baseline);
+  for (int iter = 0; iter < DiffIters(); ++iter) {
+    // Injected cancel mid-split → governed trip, kCancelled.
+    failpoint::Config cancel;
+    cancel.action = failpoint::Action::kCancel;
+    cancel.hit_on = 2;  // Second chunk: the fan-out is already running.
+    failpoint::Arm("hom/domain_split", cancel);
+    ExecContext exec{ExecLimits{}};
+    ExecStatus status;
+    auto value = RunGoverned(exec, &status,
+                             [&] { return CountHoms(from, to, split); });
+    EXPECT_FALSE(value.has_value());
+    EXPECT_EQ(status.code, ExecCode::kCancelled);
+    EXPECT_GE(failpoint::HitCount("hom/domain_split"), 2u);
+    failpoint::DisarmAll();
+    EXPECT_EQ(CountHoms(from, to, split), baseline);
+    // Injected allocation failure mid-split → kResourceExhausted.
+    failpoint::Config oom;
+    oom.action = failpoint::Action::kBadAlloc;
+    oom.hit_on = 1;
+    failpoint::Arm("hom/domain_split", oom);
+    ExecContext exec2{ExecLimits{}};
+    ExecStatus status2;
+    auto value2 = RunGoverned(exec2, &status2,
+                              [&] { return CountHoms(from, to, split); });
+    EXPECT_FALSE(value2.has_value());
+    EXPECT_EQ(status2.code, ExecCode::kResourceExhausted);
+    failpoint::DisarmAll();
+    // Clean unwind: the split rerun still matches the serial engine.
+    EXPECT_EQ(CountHoms(from, to, split), baseline);
+  }
 }
 
 TEST_F(GovernedTest, InjectedCancelMidDecidePipeline) {

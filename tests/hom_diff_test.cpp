@@ -10,6 +10,7 @@
 #include "hom/hom.h"
 #include "structs/generator.h"
 #include "util/rng.h"
+#include "test_matrices.h"
 
 namespace bagdet {
 namespace {
@@ -24,6 +25,32 @@ void ExpectAllEnginesAgree(const Structure& from, const Structure& to) {
                        << " to=" << to.ToString();
   EXPECT_EQ(ExistsHom(from, to), !dp.IsZero())
       << "from=" << from.ToString() << " to=" << to.ToString();
+}
+
+// Domain-core sweep: the same pair through the ablation corners of the
+// engine (domains on/off, exact order search on/off) and through the
+// forced parallel split at 1 and 4 lanes, each pinned to the naive count.
+void ExpectDomainCoreAgrees(const Structure& from, const Structure& to) {
+  const BigInt naive = CountHomsNaive(from, to);
+  for (bool domains : {false, true}) {
+    DpOptions options;
+    options.use_domains = domains;
+    options.domain_min_work = 0;  // Engage domains on any instance size.
+    options.order_search_max_atoms = domains ? 12 : 0;
+    options.num_threads = 1;
+    EXPECT_EQ(CountHoms(from, to, options), naive)
+        << "domains=" << domains << " from=" << from.ToString()
+        << " to=" << to.ToString();
+  }
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    DpOptions options;
+    options.num_threads = threads;
+    options.parallel_split_min_work = 0;  // Split whenever legal.
+    options.domain_min_work = 0;
+    EXPECT_EQ(CountHoms(from, to, options), naive)
+        << "threads=" << threads << " from=" << from.ToString()
+        << " to=" << to.ToString();
+  }
 }
 
 TEST(HomDiffTest, MixedAritySchemaWithNullaryRelations) {
@@ -75,6 +102,56 @@ TEST(HomDiffTest, ConnectedSourcesIntoLargerTargets) {
     Structure to = RandomStructure(schema, to_size, &rng, 1, 2);
     ExpectAllEnginesAgree(from, to);
   }
+}
+
+TEST(HomDiffTest, DomainCoreOnDenseNearRegularDigraphs) {
+  // Dense digraphs are the regime the domain layer targets: big uniform
+  // buckets defeat single-bucket selection, while near-regular degree
+  // sequences keep the arc-consistency fixpoint non-trivial.
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  Rng rng(0xdeca1);
+  const int iters = 30 * testmat::DiffIterScale();
+  for (int iter = 0; iter < iters; ++iter) {
+    Structure from =
+        RandomConnectedStructure(schema, 2 + rng.Below(3), &rng, 3, 4);
+    Structure to = RandomStructure(schema, 2 + rng.Below(4), &rng, 3, 4);
+    ExpectDomainCoreAgrees(from, to);
+  }
+}
+
+TEST(HomDiffTest, DomainCoreOnHighAritySparseSchemas) {
+  // High-arity sparse relations stress repeated-variable support and the
+  // per-position occupancy seeding (most positions have tiny masks).
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("T", 3);
+  schema->AddRelation("Q", 4);
+  Rng rng(0x9a7e5);
+  const int iters = 25 * testmat::DiffIterScale();
+  for (int iter = 0; iter < iters; ++iter) {
+    Structure from = RandomStructure(schema, 1 + rng.Below(3), &rng, 1, 6);
+    Structure to = RandomStructure(schema, 1 + rng.Below(3), &rng, 1, 3);
+    ExpectDomainCoreAgrees(from, to);
+  }
+}
+
+TEST(HomDiffTest, DomainCoreOnDisconnectedSourcesWithNullaries) {
+  // Component decomposition × nullary presence constraints × the split
+  // path: the product-of-components fold must stay exact under all knobs.
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("H", 0);
+  schema->AddRelation("P", 1);
+  schema->AddRelation("E", 2);
+  Rng rng(0xd15c0);
+  const int iters = 30 * testmat::DiffIterScale();
+  int disconnected = 0;
+  for (int iter = 0; iter < iters; ++iter) {
+    Structure from = RandomStructure(schema, rng.Below(5), &rng, 1, 3);
+    Structure to = RandomStructure(schema, rng.Below(4), &rng, 1, 2);
+    if (!from.IsConnected()) ++disconnected;
+    ExpectDomainCoreAgrees(from, to);
+  }
+  EXPECT_GT(disconnected, iters / 4);
 }
 
 TEST(HomDiffTest, EnumerationVisitCountMatchesCount) {
