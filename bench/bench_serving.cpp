@@ -1,0 +1,325 @@
+// bench_serving: zipfian closed-loop throughput/latency benchmark for the
+// always-on DeterminacyService (serve/service.h).
+//
+// Workload: a key space of distinct determinacy instances (alternating
+// determined / undetermined, growing k) sampled rank-skewed (zipf s=1.1) —
+// hot instances repeat, so the persistent pool + sharded HomCache should
+// convert the head of the distribution into cache hits. Clients submit in
+// bursts (burst size > queue capacity now and then), so admission control
+// genuinely sheds under the spikes; every request carries a per-request
+// deadline, so oversized work declines typed instead of hogging a runner.
+//
+// Output: a machine-readable JSON report (p50/p90/p99/max latency over
+// completed requests, throughput, outcome/retry/rotation counters,
+// cache-hit rate) written to the path given as the first positional arg
+// (default BENCH_serving.json). The checked-in BENCH_serving.json pairs a
+// plain run with a failpoint-armed run on the same host.
+//
+// Flags:
+//   --failpoints   arm serve/dispatch (bad_alloc, p=.05) and hom/dp_step
+//                  (cancel, p=.002) for the whole run — requires a
+//                  -DBAGDET_FAILPOINTS=ON build; the run must still finish
+//                  with every request in exactly one typed outcome.
+//   --requests=N   total requests (default 400)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <numeric>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/cq.h"
+#include "serve/service.h"
+#include "structs/structure.h"
+#include "util/failpoint.h"
+
+namespace {
+
+using namespace bagdet;
+
+std::shared_ptr<Schema> GraphSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddRelation("E", 2);
+  return schema;
+}
+
+Structure Combine(const std::shared_ptr<Schema>& schema, std::size_t k,
+                  const std::vector<int>& mult) {
+  Structure s(schema);
+  for (std::size_t len = 1; len <= k; ++len) {
+    Structure c(schema);
+    for (Element i = 0; i < len; ++i) {
+      c.AddFact(0, {i, static_cast<Element>((i + 1) % len)});
+    }
+    for (int m = 0; m < mult[len - 1]; ++m) s = DisjointUnion(s, c);
+  }
+  return s;
+}
+
+/// Key space: rank r maps to a deterministic instance; even ranks are
+/// determined (view = query), odd ranks undetermined (ramp view, full
+/// counterexample pipeline), and every 8th rank is the tier-0 blind pair
+/// under a crippled distinguisher — a deterministic degraded answer
+/// (verdict without certificate), so the degrade tier shows up in the
+/// steady-state counters, not only under faults.
+ServeRequest InstanceForRank(const std::shared_ptr<Schema>& schema,
+                             std::size_t rank) {
+  if (rank % 8 == 7) {
+    Structure a(schema), b(schema);
+    const std::pair<Element, Element> ea[] = {{0, 0}, {0, 1}, {0, 3},
+                                              {1, 1}, {1, 2}, {2, 0}};
+    const std::pair<Element, Element> eb[] = {{0, 0}, {0, 2}, {0, 3},
+                                              {1, 3}, {2, 0}, {2, 2}};
+    for (const auto& [u, v] : ea) a.AddFact(0, {u, v});
+    for (const auto& [u, v] : eb) b.AddFact(0, {u, v});
+    ServeRequest req;
+    req.query = BooleanQueryFromStructure("q", DisjointUnion(a, b));
+    req.views.push_back(BooleanQueryFromStructure(
+        "v", DisjointUnion(DisjointUnion(a, b), b)));
+    req.options.distinguisher.max_subset_domain = 2;
+    req.options.distinguisher.random_attempts = 1;
+    req.options.distinguisher.max_random_domain = 1;
+    req.limits.deadline_ms = 2000;
+    return req;
+  }
+  const std::size_t k = 2 + (rank / 2) % 3;  // k in {2, 3, 4}.
+  ServeRequest req;
+  std::vector<int> ones(k, 1);
+  if (rank % 2 == 0) {
+    // Shift multiplicities by rank so distinct ranks are distinct classes.
+    std::vector<int> mult(ones);
+    mult[0] += static_cast<int>(rank / 6);
+    Structure body = Combine(schema, k, mult);
+    req.query = BooleanQueryFromStructure("q", body);
+    req.views.push_back(BooleanQueryFromStructure("v", body));
+  } else {
+    std::vector<int> ramp(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      ramp[i] = static_cast<int>(i + 1 + rank / 6);
+    }
+    req.query = BooleanQueryFromStructure("q", Combine(schema, k, ones));
+    req.views.push_back(
+        BooleanQueryFromStructure("v", Combine(schema, k, ramp)));
+  }
+  req.limits.deadline_ms = 2000;
+  return req;
+}
+
+/// Rank-skewed sampling: P(rank) ∝ 1 / (rank+1)^s.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) {
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  std::size_t Sample(std::mt19937& rng) const {
+    const double u =
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serving.json";
+  bool arm_failpoints = false;
+  std::size_t total_requests = 400;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--failpoints") {
+      arm_failpoints = true;
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      total_requests = std::stoull(arg.substr(11));
+    } else {
+      out_path = arg;
+    }
+  }
+  if (arm_failpoints && !failpoint::Enabled()) {
+    std::fprintf(stderr,
+                 "--failpoints needs a -DBAGDET_FAILPOINTS=ON build\n");
+    return 2;
+  }
+  if (arm_failpoints) {
+    failpoint::Arm("serve/dispatch",
+                   {failpoint::Action::kBadAlloc, /*probability=*/0.05});
+    failpoint::Arm("hom/dp_step",
+                   {failpoint::Action::kCancel, /*probability=*/0.002});
+  }
+
+  constexpr std::size_t kKeySpace = 32;
+  constexpr double kZipfS = 1.1;
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kBurst = 6;
+
+  auto schema = GraphSchema();
+  const Zipf zipf(kKeySpace, kZipfS);
+
+  ServiceOptions opts;
+  opts.max_concurrent = 2;
+  opts.max_queue = 16;
+  opts.max_retries = 2;
+  DeterminacyService service(opts);
+
+  std::vector<double> latencies_ms;  // Completed (answered/degraded) only.
+  std::vector<double> shed_retry_after_ms;
+  std::mutex record_mu;
+  const std::size_t per_client = total_requests / kClients;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(1000 + static_cast<unsigned>(c));
+      std::size_t sent = 0;
+      while (sent < per_client) {
+        // Burst submit, then drain the burst: spikes overflow the queue.
+        const std::size_t burst = std::min(kBurst, per_client - sent);
+        std::vector<std::chrono::steady_clock::time_point> starts;
+        std::vector<std::future<ServeResponse>> futures;
+        for (std::size_t b = 0; b < burst; ++b) {
+          starts.push_back(std::chrono::steady_clock::now());
+          futures.push_back(
+              service.Submit(InstanceForRank(schema, zipf.Sample(rng))));
+        }
+        sent += burst;
+        for (std::size_t b = 0; b < burst; ++b) {
+          ServeResponse resp = futures[b].get();
+          const double ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - starts[b])
+                  .count();
+          std::lock_guard<std::mutex> lock(record_mu);
+          if (resp.outcome == ServeOutcome::kAnswered ||
+              resp.outcome == ServeOutcome::kDegraded) {
+            latencies_ms.push_back(ms);
+          } else if (resp.outcome == ServeOutcome::kShed) {
+            shed_retry_after_ms.push_back(resp.retry_after_ms);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.Shutdown();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  if (arm_failpoints) failpoint::DisarmAll();
+
+  const ServiceStats stats = service.stats();
+  const std::uint64_t finished =
+      stats.answered + stats.degraded + stats.shed + stats.declined;
+  if (finished != stats.submitted) {
+    std::fprintf(stderr,
+                 "FATAL: outcome counters (%llu) != submitted (%llu)\n",
+                 static_cast<unsigned long long>(finished),
+                 static_cast<unsigned long long>(stats.submitted));
+    return 1;
+  }
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double cache_total =
+      static_cast<double>(stats.cache_hits + stats.cache_misses);
+  const double hit_rate =
+      cache_total > 0.0 ? static_cast<double>(stats.cache_hits) / cache_total
+                        : 0.0;
+  const double mean_retry_after =
+      shed_retry_after_ms.empty()
+          ? 0.0
+          : std::accumulate(shed_retry_after_ms.begin(),
+                            shed_retry_after_ms.end(), 0.0) /
+                static_cast<double>(shed_retry_after_ms.size());
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"description\": \"DeterminacyService zipfian closed-loop "
+               "bench: %zu-key space (s=%.1f), %zu clients x burst %zu, "
+               "max_concurrent=%zu, max_queue=%zu, per-request deadline "
+               "2000ms. Latency percentiles over answered+degraded "
+               "requests, submit-to-response wall time.\",\n",
+               kKeySpace, kZipfS, kClients, kBurst, opts.max_concurrent,
+               opts.max_queue);
+  std::fprintf(out, "  \"failpoints_armed\": %s,\n",
+               arm_failpoints ? "true" : "false");
+  std::fprintf(out, "  \"requests\": %llu,\n",
+               static_cast<unsigned long long>(stats.submitted));
+  std::fprintf(out, "  \"wall_seconds\": %.3f,\n", wall_s);
+  std::fprintf(out, "  \"throughput_rps\": %.1f,\n",
+               static_cast<double>(stats.submitted) / wall_s);
+  std::fprintf(out,
+               "  \"latency_ms\": {\"p50\": %.3f, \"p90\": %.3f, "
+               "\"p99\": %.3f, \"max\": %.3f},\n",
+               Percentile(latencies_ms, 0.50), Percentile(latencies_ms, 0.90),
+               Percentile(latencies_ms, 0.99),
+               latencies_ms.empty() ? 0.0 : latencies_ms.back());
+  std::fprintf(out,
+               "  \"outcomes\": {\"answered\": %llu, \"degraded\": %llu, "
+               "\"shed\": %llu, \"declined\": %llu},\n",
+               static_cast<unsigned long long>(stats.answered),
+               static_cast<unsigned long long>(stats.degraded),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.declined));
+  std::fprintf(out, "  \"retries\": %llu,\n",
+               static_cast<unsigned long long>(stats.retries));
+  std::fprintf(out, "  \"rotations\": %llu,\n",
+               static_cast<unsigned long long>(stats.rotations));
+  std::fprintf(out, "  \"mean_shed_retry_after_ms\": %.3f,\n",
+               mean_retry_after);
+  std::fprintf(out,
+               "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"hit_rate\": %.3f},\n",
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_misses), hit_rate);
+  std::fprintf(out,
+               "  \"pool\": {\"classes\": %llu, \"approx_bytes\": %llu}\n",
+               static_cast<unsigned long long>(stats.pool_classes),
+               static_cast<unsigned long long>(stats.pool_bytes));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf(
+      "%llu requests in %.2fs (%.1f rps): %llu answered, %llu degraded, "
+      "%llu shed, %llu declined; retries %llu; p50 %.2fms p99 %.2fms; "
+      "cache hit rate %.1f%%\n",
+      static_cast<unsigned long long>(stats.submitted), wall_s,
+      static_cast<double>(stats.submitted) / wall_s,
+      static_cast<unsigned long long>(stats.answered),
+      static_cast<unsigned long long>(stats.degraded),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.declined),
+      static_cast<unsigned long long>(stats.retries),
+      Percentile(latencies_ms, 0.50), Percentile(latencies_ms, 0.99),
+      100.0 * hit_rate);
+  return 0;
+}

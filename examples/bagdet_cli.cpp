@@ -4,14 +4,24 @@
 //   bagdet_cli [flags] cq   <file>    decide bag-determinacy of boolean CQs
 //   bagdet_cli [flags] path <file>    decide path-query determinacy (Thm. 1)
 //   bagdet_cli eval <rules> <data>    evaluate every rule on a database
+//   bagdet_cli [flags] --serve <file> batch-serve many cq instances
 //   bagdet_cli -                      read from stdin (cq mode)
 //
-// Flags (cq mode):
+// Flags (cq and serve modes):
 //   --deadline-ms=N     abort the decision after N milliseconds
 //   --max-memory-mb=N   abort when governed kernels charge more than N MiB
 // Both accept "--flag N" and "--flag=N". When a limit trips the process
 // prints the typed execution status and exits with code 3 (0 = determined,
 // 1 = not determined, 2 = usage/input error).
+//
+// Serve mode: the input holds MANY instances separated by blank lines
+// (each block is a cq program: views first, query last; every block shares
+// one schema). All instances are submitted to a persistent
+// DeterminacyService (serve/service.h) — one shared pool/cache, the flag
+// limits applied per request — and the process drains before exiting. Exit
+// code is the worst outcome across the batch: 2 usage/parse error, 3 if
+// any request was shed or declined, else 1 if any verdict was NOT
+// determined, else 0.
 //
 // CQ input: datalog rules, one per line; the LAST rule is the query, all
 // earlier rules are views. Example:
@@ -37,6 +47,7 @@
 
 #include "core/determinacy.h"
 #include "path/path_query.h"
+#include "serve/service.h"
 #include "query/parser.h"
 #include "structs/text.h"
 #include "util/exec_context.h"
@@ -74,6 +85,90 @@ int RunCqMode(const std::string& text, const bagdet::ExecLimits& limits) {
               << (issue ? *issue : std::string("OK (exact)")) << "\n";
   }
   return result.determined ? 0 : 1;
+}
+
+int RunServeMode(const std::string& text, const bagdet::ExecLimits& limits) {
+  using namespace bagdet;
+  // One parser across every block: relations accumulate into one schema,
+  // so all instances target the same persistent pool.
+  QueryParser parser;
+  std::vector<ServeRequest> requests;
+  std::istringstream lines(text);
+  std::string line, block;
+  auto flush_block = [&]() {
+    if (block.find_first_not_of(" \t\r\n") == std::string::npos) {
+      block.clear();
+      return;
+    }
+    std::vector<ConjunctiveQuery> rules = parser.ParseProgram(block);
+    block.clear();
+    if (rules.empty()) return;
+    ServeRequest req;
+    req.query = rules.back();
+    rules.pop_back();
+    req.views = std::move(rules);
+    req.limits = limits;
+    requests.push_back(std::move(req));
+  };
+  while (std::getline(lines, line)) {
+    const bool blank =
+        line.find_first_not_of(" \t\r") == std::string::npos;
+    if (blank) {
+      flush_block();
+    } else {
+      block += line;
+      block += '\n';
+    }
+  }
+  flush_block();
+  if (requests.empty()) {
+    std::cerr << "error: no instances given\n";
+    return 2;
+  }
+
+  DeterminacyService service;
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(requests.size());
+  for (ServeRequest& req : requests) {
+    futures.push_back(service.Submit(std::move(req)));
+  }
+
+  bool any_rejected = false;
+  bool any_undetermined = false;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ServeResponse resp = futures[i].get();
+    std::cout << "request " << i << ": " << ServeOutcomeName(resp.outcome);
+    switch (resp.outcome) {
+      case ServeOutcome::kAnswered:
+      case ServeOutcome::kDegraded:
+        std::cout << (resp.result->determined ? " - DETERMINED"
+                                              : " - NOT determined");
+        if (resp.degraded) {
+          std::cout << " (degraded: " << resp.status.ToString() << ")";
+        }
+        any_undetermined |= !resp.result->determined;
+        break;
+      case ServeOutcome::kShed:
+      case ServeOutcome::kDeclined:
+        std::cout << " - " << resp.status.ToString();
+        if (!resp.message.empty()) std::cout << " (" << resp.message << ")";
+        any_rejected = true;
+        break;
+    }
+    if (resp.retries != 0) std::cout << " [retries " << resp.retries << "]";
+    std::cout << "\n";
+  }
+  service.Shutdown();
+
+  const ServiceStats stats = service.stats();
+  std::cout << "serve summary: " << stats.submitted << " requests - "
+            << stats.answered << " answered, " << stats.degraded
+            << " degraded, " << stats.shed << " shed, " << stats.declined
+            << " declined; retries " << stats.retries << "; cache "
+            << stats.cache_hits << " hits / " << stats.cache_misses
+            << " misses; generation " << stats.generation << "\n";
+  if (any_rejected) return 3;
+  return any_undetermined ? 1 : 0;
 }
 
 int RunPathMode(const std::string& text) {
@@ -196,25 +291,32 @@ int main(int argc, char** argv) {
       return 2;
     }
     limits.max_memory_bytes = max_memory_mb * 1024 * 1024;
+    std::string mode = "cq";
+    for (auto it = args.begin(); it != args.end(); ++it) {
+      if (*it == "--serve") {
+        mode = "serve";
+        args.erase(it);
+        break;
+      }
+    }
     if (args.size() == 3 && args[0] == "eval") {
       return RunEvalMode(ReadAll(args[1]), ReadAll(args[2]));
     }
-    std::string mode = "cq";
     std::string path = "-";
     if (args.size() == 1) {
       path = args[0];
-    } else if (args.size() == 2) {
+    } else if (args.size() == 2 && mode == "cq") {
       mode = args[0];
       path = args[1];
     } else if (!args.empty()) {
       std::cerr << "usage: bagdet_cli [--deadline-ms N] [--max-memory-mb N] "
-                   "[cq|path] <file|->\n"
+                   "[--serve] [cq|path] <file|->\n"
                 << "       bagdet_cli eval <rules> <data>\n";
       return 2;
     }
-    std::string text = ReadAll(path);
-    return mode == "path" ? RunPathMode(text)
-                          : RunCqMode(text, limits);
+    if (mode == "path") return RunPathMode(ReadAll(path));
+    if (mode == "serve") return RunServeMode(ReadAll(path), limits);
+    return RunCqMode(ReadAll(path), limits);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

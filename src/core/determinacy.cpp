@@ -72,15 +72,25 @@ std::uint64_t CheckedCommonDenominator(const BigInt& value,
 }  // namespace
 
 InstanceAnalysis AnalyzeInstance(std::vector<ConjunctiveQuery> views,
-                                 ConjunctiveQuery query) {
+                                 ConjunctiveQuery query,
+                                 std::shared_ptr<HomCache> shared_cache) {
   InstanceAnalysis analysis;
   const Schema& schema = query.schema();
   CheckQueryUsable(query, schema);
   for (const ConjunctiveQuery& view : views) CheckQueryUsable(view, schema);
   analysis.views = std::move(views);
   analysis.query = std::move(query);
-  analysis.pool = std::make_shared<StructurePool>();
-  analysis.hom_cache = std::make_shared<HomCache>(analysis.pool);
+  if (shared_cache != nullptr) {
+    // Persistent serving mode: intern into the caller's fleet-wide pool and
+    // memoize counts in its cache. Downstream content is identical to the
+    // private-pool path (only the ref values differ), so verdicts and
+    // certificates cannot depend on what other requests populated.
+    analysis.pool = shared_cache->pool_ptr();
+    analysis.hom_cache = std::move(shared_cache);
+  } else {
+    analysis.pool = std::make_shared<StructurePool>();
+    analysis.hom_cache = std::make_shared<HomCache>(analysis.pool);
+  }
 
   // Definition 25: V = { v : q ⊆set v }, i.e. hom(v, q) ≠ ∅.
   for (std::size_t i = 0; i < analysis.views.size(); ++i) {
@@ -135,12 +145,18 @@ DeterminacyResult DecideBagDeterminacy(std::vector<ConjunctiveQuery> views,
                                        ConjunctiveQuery query,
                                        const DeterminacyOptions& options) {
   DeterminacyResult result;
-  result.analysis = AnalyzeInstance(std::move(views), std::move(query));
-  if (options.hom_cache_max_entries != 0) {
-    result.analysis.hom_cache->set_max_entries(options.hom_cache_max_entries);
-  }
-  if (options.hom_cache_max_bytes != 0) {
-    result.analysis.hom_cache->set_max_bytes(options.hom_cache_max_bytes);
+  result.analysis = AnalyzeInstance(std::move(views), std::move(query),
+                                    options.shared_hom_cache);
+  // Per-request budget knobs only apply to a private cache: a shared one is
+  // configured once by its owner and must not be resized mid-stream.
+  if (options.shared_hom_cache == nullptr) {
+    if (options.hom_cache_max_entries != 0) {
+      result.analysis.hom_cache->set_max_entries(
+          options.hom_cache_max_entries);
+    }
+    if (options.hom_cache_max_bytes != 0) {
+      result.analysis.hom_cache->set_max_bytes(options.hom_cache_max_bytes);
+    }
   }
 
   // Main Lemma 31: V0 ⟶bag q ⇔ q⃗ ∈ span{v⃗ : v ∈ V}.

@@ -68,8 +68,21 @@ struct InstanceAnalysis {
 /// Computes the analysis. Throws std::invalid_argument when q or a view is
 /// not boolean, uses a nullary atom (the Theorem-3 machinery requires
 /// components with nonempty domains; see DESIGN.md), or schemas differ.
+///
+/// `shared_cache` (optional) supplies a persistent HomCache — and with it
+/// the StructurePool it wraps — owned by a long-lived caller such as
+/// DeterminacyService: components intern into the shared pool and counts
+/// memoize fleet-wide, so overlapping view sets across requests hit warm
+/// entries instead of recounting. Both are thread-safe, so concurrent
+/// analyses may share one cache. The analysis content (basis order,
+/// vectors, verdict downstream) is bit-identical to the private-pool path
+/// regardless of what else the shared pool already holds — only the
+/// numeric StructureRef values differ. Null keeps the per-call behavior:
+/// a fresh pool + cache per analysis.
 InstanceAnalysis AnalyzeInstance(std::vector<ConjunctiveQuery> views,
-                                 ConjunctiveQuery query);
+                                 ConjunctiveQuery query,
+                                 std::shared_ptr<HomCache> shared_cache =
+                                     nullptr);
 
 /// Positive certificate: q(D) = Π_j views[view_indices[j]](D)^exponents[j]
 /// whenever every listed view count is positive; otherwise q(D) = 0.
@@ -101,8 +114,13 @@ struct DeterminacyOptions {
   /// functions of the interned classes, so eviction pressure can never
   /// change a verdict — the end-to-end property suite pins exactly that
   /// with a tiny budget, and serving tiers can bound long-lived decisions.
+  /// Ignored when `shared_hom_cache` is set: a fleet-wide cache's budgets
+  /// belong to its owner, not to any one request.
   std::size_t hom_cache_max_entries = 0;
   std::size_t hom_cache_max_bytes = 0;
+  /// Persistent pool + count cache to run this decision against (see
+  /// AnalyzeInstance). Null = private per-call pool and cache.
+  std::shared_ptr<HomCache> shared_hom_cache;
 };
 
 /// Outcome of the decision procedure.

@@ -172,6 +172,10 @@ HomCache::Stats HomCache::stats() const {
     total.entries += shard.index.size();
     total.bytes += shard.bytes;
   }
+  {
+    std::lock_guard<std::mutex> lock(components_mu_);
+    total.component_entries = components_of_.size();
+  }
   return total;
 }
 

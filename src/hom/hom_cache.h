@@ -111,6 +111,11 @@ class HomCache {
     std::uint64_t evictions = 0;
     std::uint64_t entries = 0;  ///< Current resident count entries.
     std::uint64_t bytes = 0;    ///< Approximate resident footprint.
+    /// Resident component-decomposition memos. Unlike counts these are
+    /// never evicted (callers hold references into the memo), so a
+    /// fleet-wide cache's owner watches this alongside the pool's class
+    /// count when deciding generation rotation (src/serve/service.h).
+    std::uint64_t component_entries = 0;
   };
   Stats stats() const;
 
@@ -165,7 +170,7 @@ class HomCache {
   // Whole-structure canonical key → component refs. Guarded by
   // components_mu_; node-based map and never erased, so returned
   // references stay valid across concurrent inserts.
-  std::mutex components_mu_;
+  mutable std::mutex components_mu_;
   std::unordered_map<CanonicalKey, std::vector<StructureRef>, CanonicalKeyHash>
       components_of_;
 

@@ -28,14 +28,24 @@ std::uint64_t ProjectedFootprintBytes(const CanonicalKey& key,
   return bytes;
 }
 
+/// Rounds the first-block hint up to a power of two within [8, 2^20].
+std::size_t NormalizedFirstBlock(std::size_t hint) {
+  std::size_t size = 8;
+  while (size < hint && size < (1u << 20)) size <<= 1;
+  return size;
+}
+
 }  // namespace
+
+StructurePool::StructurePool(std::size_t first_block_size)
+    : first_block_size_(NormalizedFirstBlock(first_block_size)) {}
 
 StructurePool::~StructurePool() {
   for (Shard& shard : shards_) {
     for (std::size_t b = 0; b < kMaxBlocks; ++b) {
       Slot* block = shard.blocks[b].load(std::memory_order_acquire);
       if (block == nullptr) continue;
-      const std::size_t size = kFirstBlockSize << b;
+      const std::size_t size = first_block_size_ << b;
       for (std::size_t i = 0; i < size; ++i) {
         delete block[i].load(std::memory_order_acquire);
       }
@@ -61,9 +71,10 @@ StructureRef StructurePool::InternWithKey(const CanonicalKey& key,
   // Admission control: account the projected footprint against the
   // governing request *before* any pool state is created, so a rejected
   // intern leaves the shard exactly as it was (the lock_guard unwinds the
-  // mutex; by_key, the blocks, and count are untouched).
+  // mutex; by_key, the blocks, count and bytes are untouched).
+  const std::uint64_t footprint = ProjectedFootprintBytes(key, s);
   if (ExecContext* ctx = CurrentExecContext()) {
-    ctx->Charge(ProjectedFootprintBytes(key, s), "pool.intern");
+    ctx->Charge(footprint, "pool.intern");
   }
   BAGDET_FAILPOINT("pool/intern");
   std::unique_ptr<Entry> entry(new Entry{key, std::move(s)});
@@ -73,9 +84,12 @@ StructureRef StructurePool::InternWithKey(const CanonicalKey& key,
   // certificate reuse); the positional index is warmed here.
   entry->structure.Index();
 
+  // Directory growth publishes a fresh block and never touches previous
+  // blocks, so concurrent lock-free readers of already-published refs are
+  // unaffected no matter how large a persistent pool grows.
   Slot* block = shard.blocks[block_index].load(std::memory_order_acquire);
   if (block == nullptr) {
-    block = new Slot[kFirstBlockSize << block_index]();
+    block = new Slot[first_block_size_ << block_index]();
     shard.blocks[block_index].store(block, std::memory_order_release);
   }
   block[offset].store(entry.release(), std::memory_order_release);
@@ -84,6 +98,7 @@ StructureRef StructurePool::InternWithKey(const CanonicalKey& key,
       static_cast<StructureRef>(local) * kNumShards +
       static_cast<StructureRef>(shard_id);
   shard.by_key.emplace(key, ref);
+  shard.bytes.fetch_add(footprint, std::memory_order_relaxed);
   shard.count.store(local + 1, std::memory_order_release);
   return ref;
 }
@@ -143,6 +158,14 @@ std::size_t StructurePool::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
     total += shard.count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t StructurePool::ApproxBytes() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.bytes.load(std::memory_order_relaxed);
   }
   return total;
 }

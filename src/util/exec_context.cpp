@@ -26,6 +26,10 @@ const char* ExecCodeName(ExecCode code) {
       return "cancelled";
     case ExecCode::kResourceExhausted:
       return "resource_exhausted";
+    case ExecCode::kOverloaded:
+      return "overloaded";
+    case ExecCode::kInvalidArgument:
+      return "invalid_argument";
   }
   return "unknown";
 }

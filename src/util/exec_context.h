@@ -44,12 +44,18 @@
 
 namespace bagdet {
 
-/// Why a governed computation stopped.
+/// Why a governed computation stopped. kOverloaded and kInvalidArgument are
+/// never produced by ExecContext itself: they are the serving layer's typed
+/// declines (admission-queue shedding and malformed-request rejection,
+/// src/serve/service.h), sharing this enum so one status type describes
+/// every request outcome end to end.
 enum class ExecCode {
   kOk = 0,
   kDeadlineExceeded = 1,
   kCancelled = 2,
   kResourceExhausted = 3,
+  kOverloaded = 4,
+  kInvalidArgument = 5,
 };
 
 /// Stable lowercase name ("ok", "deadline_exceeded", ...).

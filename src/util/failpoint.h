@@ -38,6 +38,11 @@
 //   modular/crt_fold   once per accepted prime folded into the CRT state
 //   hilbert/entry      once per Hilbert summary grid entry
 //   bigint/alloc       BigInt limb spill — kBadAlloc models bignum OOM
+//   serve/admit        in DeterminacyService::Submit before enqueue —
+//                      kBadAlloc models admission-path OOM (typed decline)
+//   serve/dispatch     on a service runner before each governed attempt —
+//                      kBadAlloc models a transient dispatch fault (retried
+//                      with backoff), kCancel cancels that attempt's context
 
 #ifndef BAGDET_UTIL_FAILPOINT_H_
 #define BAGDET_UTIL_FAILPOINT_H_
