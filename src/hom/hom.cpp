@@ -854,7 +854,15 @@ BigInt CountComponent(const Structure& component, const Structure& to,
         break;
       }
       if (split_var != kUnassigned && split_count >= 2) {
-        const std::size_t num_chunks = std::min(lanes, split_count);
+        // Chunk granularity: chunks_per_lane > 1 oversubscribes the lanes
+        // so uneven slices rebalance through the pool's shared index. The
+        // fixed-order fold below makes every granularity bit-identical.
+        const std::size_t chunks_per_lane =
+            options.parallel_split_chunks_per_lane > 0
+                ? options.parallel_split_chunks_per_lane
+                : 1;
+        const std::size_t num_chunks =
+            std::min(lanes * chunks_per_lane, split_count);
         // Chunk c owns the set bits with ordinal in [c*n/k, (c+1)*n/k).
         std::vector<std::size_t> bits;
         bits.reserve(split_count);

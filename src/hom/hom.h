@@ -15,13 +15,18 @@
 
 #include "structs/structure.h"
 #include "util/bigint.h"
+#include "util/tuning.h"
 
 namespace bagdet {
 
 /// Knobs for the counting engine. The defaults are the production
 /// configuration; the ablation baselines in bench_hom flip them off to
 /// measure each layer (use_domains=false + order_search_max_atoms=0 +
-/// num_threads=1 is the PR-1 engine).
+/// num_threads=1 is the PR-1 engine). Every machine-dependent threshold
+/// defaults from the active TuningProfile (util/tuning.h) — a calibration
+/// profile moves the crossovers, an explicitly assigned field overrides
+/// the profile for that call, and every setting is dispatch-only (counts
+/// are bit-identical under any combination).
 struct DpOptions {
   /// Per-variable candidate domains (hom/domain.h): SVOBitsets seeded from
   /// the positional index's occupancy masks, pre-pruned to an atom-support
@@ -37,7 +42,7 @@ struct DpOptions {
   /// at least 4× the fixpoint's own bucket-scan cost. The default is the
   /// measured crossover on the small-structure fast path
   /// (BM_SmallStructureFastPath). 0 always builds domains.
-  double domain_min_work = 1 << 12;
+  double domain_min_work = static_cast<double>(Tuning().domain_min_work);
 
   /// The exact subset-DP elimination-order search (scored by the
   /// induced-width/domain-product table bound) runs during the
@@ -49,7 +54,7 @@ struct DpOptions {
   /// near-optimal. 0 disables the search entirely. The hard cap is 16
   /// atoms (the subset table stays a few MB; see ROADMAP for the
   /// measured crossover).
-  std::size_t order_search_max_atoms = 12;
+  std::size_t order_search_max_atoms = Tuning().order_search_max_atoms;
 
   /// A single component count is split across the global ThreadPool —
   /// partitioning the first-bound variable's pruned domain into
@@ -57,11 +62,20 @@ struct DpOptions {
   /// thread count — when the estimated DP work (sum over plan steps of
   /// the live-domain-product table bound) reaches this many units.
   /// Requires use_domains. 0 splits whenever a second lane exists.
-  double parallel_split_min_work = 1 << 16;
+  double parallel_split_min_work =
+      static_cast<double>(Tuning().parallel_split_min_work);
+
+  /// Domain chunks carved per lane by the parallel split. 1 gives each
+  /// lane one contiguous slice (minimal fork/join overhead); larger
+  /// values oversubscribe so lanes whose slices propagate to empty can
+  /// steal the next chunk instead of idling. Sub-counts fold in fixed
+  /// chunk order, so every value is bit-identical.
+  std::size_t parallel_split_chunks_per_lane =
+      Tuning().parallel_split_chunks_per_lane;
 
   /// Lanes for the parallel split: 0 = the global pool's full width,
   /// 1 = always serial.
-  std::size_t num_threads = 0;
+  std::size_t num_threads = Tuning().hom_num_threads;
 };
 
 /// Number of homomorphisms from `from` to `to`. Exact (BigInt); note

@@ -44,6 +44,7 @@
 #include "structs/pool.h"
 #include "structs/structure.h"
 #include "util/bigint.h"
+#include "util/tuning.h"
 
 namespace bagdet {
 
@@ -164,8 +165,12 @@ class HomCache {
 
   std::shared_ptr<StructurePool> pool_;
   std::size_t max_intern_domain_ = 256;
-  std::size_t max_entries_ = 1 << 20;
-  std::size_t max_bytes_ = 256u << 20;  // 256 MiB.
+  // Retention defaults from the active TuningProfile (stock profile: 2^20
+  // entries / 256 MiB, the serving-tier scale); set_max_entries/bytes and
+  // ServiceOptions overrides take precedence as before.
+  std::size_t max_entries_ = Tuning().hom_cache_max_entries;
+  std::size_t max_bytes_ =
+      static_cast<std::size_t>(Tuning().hom_cache_max_bytes);
 
   // Whole-structure canonical key → component refs. Guarded by
   // components_mu_; node-based map and never erased, so returned

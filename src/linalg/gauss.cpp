@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/modular_solve.h"
+#include "util/tuning.h"
 
 namespace bagdet {
 
@@ -21,18 +22,23 @@ std::size_t RationalBitLength(const Rational& value) {
 /// always wins.
 bool UseModularPath(const Mat& m) { return m.rows() >= 3 && m.cols() >= 3; }
 
-/// Inverse dispatch gate, from the measured crossover (BENCH_linalg.json):
-/// with word-size entries exact [A|I] elimination stays ahead through
-/// n ≈ 8 (its rationals never grow far), while entries of 32 bits and up
-/// flip to the multi-modular path from n = 4.
+/// Inverse dispatch gate. The thresholds live in the active TuningProfile;
+/// their defaults are the crossover measured on the 1-core reference host
+/// (BENCH_linalg.json): with word-size entries exact [A|I] elimination
+/// stays ahead through n ≈ 8 (its rationals never grow far), while entries
+/// of 32 bits and up flip to the multi-modular path from n = 4. A profile
+/// produced by bagdet_tune re-points the gate at the crossover of the
+/// machine actually running; either path returns bit-identical results.
 bool UseModularInverse(const Mat& m) {
+  const TuningProfile& tuning = Tuning();
   const std::size_t n = m.rows();
-  if (n < 4) return false;
-  if (n >= 9) return true;
+  if (n < tuning.inverse_modular_min_dim) return false;
+  if (n >= tuning.inverse_modular_always_dim) return true;
   for (std::size_t r = 0; r < n; ++r) {
     for (std::size_t c = 0; c < n; ++c) {
       const Rational& q = m.At(r, c);
-      if (q.numerator().BitLength() + q.denominator().BitLength() >= 32) {
+      if (q.numerator().BitLength() + q.denominator().BitLength() >=
+          tuning.inverse_modular_entry_bits) {
         return true;
       }
     }

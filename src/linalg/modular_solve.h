@@ -41,6 +41,7 @@
 #include "linalg/gauss.h"
 #include "linalg/matrix.h"
 #include "util/exec_context.h"
+#include "util/tuning.h"
 
 namespace bagdet {
 
@@ -93,8 +94,10 @@ struct ModularOptions {
   /// batches but *folded* (consensus signature, CRT accumulation, lift
   /// attempts) strictly in prime order, exactly the sequence the serial
   /// path executes, and the lift/verify stages are pure per-entry/per-row
-  /// functions of that fold's state.
-  std::size_t num_threads = 0;
+  /// functions of that fold's state. The default comes from the active
+  /// TuningProfile (stock profile: 0 = auto); assigning the field
+  /// overrides the profile for this call.
+  std::size_t num_threads = Tuning().modular_num_threads;
   /// Number of *fresh* primes — disjoint from every prime folded into the
   /// reconstruction modulus — that the verification stage screens a lifted
   /// candidate against before the exact rational pass runs (0 disables the
@@ -121,9 +124,12 @@ struct ModularOptions {
   /// per-prime work can pay off — see BENCH_linalg.json), so the default
   /// keeps practical sizes on the CRT path; Dixon's per-column fan-out
   /// scales better with cores, so multicore deployments inverting very
-  /// large matrices can lower this. Tests force the Dixon path with 1;
-  /// SIZE_MAX disables it.
-  std::size_t dixon_min_dim = 64;
+  /// large matrices can lower this — which is exactly what a bagdet_tune
+  /// profile does: the default reads the active TuningProfile (stock
+  /// profile: 64, the 1-core measurement). Tests force the Dixon path
+  /// with 1; SIZE_MAX disables it. Assigning the field overrides the
+  /// profile for this call.
+  std::size_t dixon_min_dim = Tuning().dixon_min_dim;
   /// When non-null, the driver accumulates work counters here (see
   /// ModularStats). Not reset on entry; callers zero it themselves.
   ModularStats* stats = nullptr;

@@ -72,6 +72,7 @@
 #include "query/cq.h"
 #include "structs/pool.h"
 #include "util/exec_context.h"
+#include "util/tuning.h"
 
 namespace bagdet {
 
@@ -137,8 +138,10 @@ struct ServiceOptions {
   std::size_t hom_cache_max_bytes = 0;
   /// Generation rotation thresholds for the persistent pool: retire the
   /// generation once it retains more classes / projected bytes than this.
-  std::size_t pool_max_classes = 1u << 16;
-  std::uint64_t pool_max_bytes = 256ull << 20;
+  /// Defaults come from the active TuningProfile (util/tuning.h); assign
+  /// to override per service.
+  std::size_t pool_max_classes = Tuning().serve_pool_max_classes;
+  std::uint64_t pool_max_bytes = Tuning().serve_pool_max_bytes;
   /// Slot-directory first-block hint for the persistent pool.
   std::size_t pool_first_block = 4096;
 };
