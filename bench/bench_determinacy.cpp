@@ -14,6 +14,7 @@
 #include "hom/hom_cache.h"
 #include "query/cq.h"
 #include "structs/structure.h"
+#include "util/limb_kernels.h"
 #include "util/rng.h"
 
 namespace bagdet {
@@ -105,9 +106,18 @@ Instance UndeterminedInstance(std::size_t k) {
 
 void BM_DecideDetermined(benchmark::State& state) {
   Instance inst = DeterminedInstance(static_cast<std::size_t>(state.range(0)));
+  // Bignum spill commits + limb-arena block growth per decide: the radix
+  // counts at k >= 8 are hundreds of bits wide, so this tracks how much
+  // of the exact-arithmetic tail escapes the per-thread scratch arena.
+  const std::uint64_t allocs_before = limb::HeapAllocCount();
   for (auto _ : state) {
     benchmark::DoNotOptimize(DecideBagDeterminacy(inst.views, inst.q));
   }
+  state.counters["heap_allocs"] =
+      state.iterations() != 0
+          ? static_cast<double>(limb::HeapAllocCount() - allocs_before) /
+                static_cast<double>(state.iterations())
+          : 0.0;
   state.SetLabel("k=" + std::to_string(state.range(0)) + " determined");
 }
 BENCHMARK(BM_DecideDetermined)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(8);

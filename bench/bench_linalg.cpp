@@ -11,6 +11,7 @@
 #include "linalg/modular_solve.h"
 #include "tests/test_matrices.h"
 #include "util/bigint.h"
+#include "util/limb_kernels.h"
 #include "util/rng.h"
 
 namespace bagdet {
@@ -18,10 +19,33 @@ namespace {
 
 using testmat::RandomBig;
 
+// Reports limb::HeapAllocCount() growth across the timed loop as a
+// per-iteration counter — the allocation-freeness metric of the span
+// kernel layer (steady-state reconstruct loops should report ~0). The
+// counter is thread-local, so multi-threaded sweeps see only the
+// calling thread's share.
+class ScopedAllocCounter {
+ public:
+  explicit ScopedAllocCounter(benchmark::State& state)
+      : state_(state), before_(limb::HeapAllocCount()) {}
+  ~ScopedAllocCounter() {
+    const double iters = static_cast<double>(state_.iterations());
+    state_.counters["heap_allocs"] =
+        iters != 0
+            ? static_cast<double>(limb::HeapAllocCount() - before_) / iters
+            : 0.0;
+  }
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t before_;
+};
+
 void BM_BigIntMultiply(benchmark::State& state) {
   Rng rng(7);
   BigInt a = RandomBig(&rng, static_cast<int>(state.range(0)));
   BigInt b = RandomBig(&rng, static_cast<int>(state.range(0)));
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(a * b);
   }
@@ -33,6 +57,7 @@ void BM_BigIntDivMod(benchmark::State& state) {
   Rng rng(11);
   BigInt a = RandomBig(&rng, static_cast<int>(state.range(0)));
   BigInt b = RandomBig(&rng, static_cast<int>(state.range(0) / 2 + 1));
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     BigInt q, r;
     BigInt::DivMod(a, b, &q, &r);
@@ -316,6 +341,7 @@ void BM_ModularRrefManyPrimes(benchmark::State& state) {
   Mat m = testmat::RandomBigLowRankMatrix(&rng, n, 4, kBigLimbs);  // 256-bit.
   ModularOptions options;
   options.num_threads = static_cast<std::size_t>(state.range(1));
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(TryModularRref(m, options));
   }
@@ -351,6 +377,7 @@ void BM_ModularInverse(benchmark::State& state) {
   ModularStats stats;
   ModularOptions options;
   options.stats = &stats;
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(TryModularInverse(m, options));
   }
@@ -369,6 +396,7 @@ void BM_ModularInverseDixon(benchmark::State& state) {
   Mat m = RandomNonsingularBigMatrix(&rng, n, static_cast<int>(state.range(1)));
   ModularOptions options;
   options.dixon_min_dim = 1;  // Force the p-adic path for the comparison.
+  ScopedAllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(TryModularInverse(m, options));
   }
@@ -378,6 +406,33 @@ void BM_ModularInverseDixon(benchmark::State& state) {
 BENCHMARK(BM_ModularInverseDixon)
     ->Args({12, 1})->Args({16, 1})
     ->Args({12, 8})->Args({16, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+// Reconstruction-bound regime: modest dimension, very wide entries (the
+// second arg is limbs, so 16/24 limbs = 512/768-bit), where CRT folds,
+// Wang rational reconstruction, and the gcd ladder dominate over the
+// per-prime eliminations. This is the workload the span-kernel tail
+// (arena scratch + CommitSpan capacity reuse + fused MulAdd/MulSub) is
+// for; `heap_allocs` exposes the steady-state allocation count per call.
+// The BM_ModularInverse prefix keeps it inside the perf gate's pinned
+// set and the CI job's benchmark_filter automatically.
+void BM_ModularInverseReconstruct(benchmark::State& state) {
+  Rng rng(67);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Mat m = RandomNonsingularBigMatrix(&rng, n, static_cast<int>(state.range(1)));
+  ModularStats stats;
+  ModularOptions options;
+  options.stats = &stats;
+  ScopedAllocCounter allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TryModularInverse(m, options));
+  }
+  state.counters["primes"] = static_cast<double>(stats.primes_used);
+  state.SetLabel(std::to_string(32 * state.range(1)) +
+                 "-bit entries, reconstruction-bound");
+}
+BENCHMARK(BM_ModularInverseReconstruct)
+    ->Args({8, 16})->Args({8, 24})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_ModularInverseExact(benchmark::State& state) {

@@ -83,7 +83,9 @@ std::uint64_t PrimeAt(const ModularOptions& options, std::size_t i) {
 /// cannot drift between them.
 void FoldLcm(BigInt* lcm, const BigInt& d) {
   if (d.IsOne()) return;
-  *lcm = *lcm / BigInt::Gcd(*lcm, d) * d;
+  // lcm <- lcm / gcd(lcm, d) * d, divided in place (exact).
+  BigInt::DivMod(*lcm, BigInt::Gcd(*lcm, d), lcm, nullptr);
+  *lcm *= d;
 }
 
 /// ceil(log2(cols + 1)), floored at 1 — the per-row sqrt factor of the
@@ -144,14 +146,15 @@ std::optional<Rational> ReconstructRational(const BigInt& residue,
   BigInt a1 = residue;
   BigInt t0(0);
   BigInt t1(1);
+  BigInt q;  // Hoisted: the loop recycles its limb capacity per step.
   while (a1 > bound) {
-    BigInt q, rem;
-    BigInt::DivMod(a0, a1, &q, &rem);
-    a0 = std::move(a1);
-    a1 = std::move(rem);
-    BigInt t2 = t0 - q * t1;
-    t0 = std::move(t1);
-    t1 = std::move(t2);
+    // (a0, a1) <- (a1, a0 mod a1); the remainder lands in a0's buffer.
+    BigInt::DivMod(a0, a1, &q, &a0);
+    std::swap(a0, a1);
+    // (t0, t1) <- (t1, t0 - q*t1), fused so the q*t1 product never
+    // materializes as a temporary.
+    t0.MulSub(q, t1);
+    std::swap(t0, t1);
   }
   BigInt num = std::move(a1);
   BigInt den = std::move(t1);
@@ -327,7 +330,7 @@ bool VerifyInverseCandidate(const Mat& a, const Mat& cand,
       BigInt acc(0);
       for (std::size_t k = 0; k < n; ++k) {
         if (v[k].IsZero() || cleared[r * n + k].IsZero()) continue;
-        acc += cleared[r * n + k] * v[k];
+        acc.MulAdd(cleared[r * n + k], v[k]);
       }
       const BigInt expect = r == c ? row_scale[r] * col_den : BigInt(0);
       if (acc != expect) {
@@ -502,7 +505,9 @@ std::optional<Mat> CrtInverse(const Mat& m, const ModularOptions& options,
             const std::uint64_t delta =
                 v >= x_mod_p ? v - x_mod_p : v + p - x_mod_p;
             const std::uint64_t t = MulModU64(delta, inv_m, p);
-            x += modulus * BigInt(static_cast<std::int64_t>(t));
+            // Fused fold: no modulus·t temporary, and x's limb capacity is
+            // reused across primes.
+            x.MulAdd(modulus, BigInt(static_cast<std::int64_t>(t)));
           }
         }
         modulus *= BigInt(static_cast<std::int64_t>(p));
@@ -642,7 +647,7 @@ std::optional<Mat> DixonInverse(const Mat& m, const ModularOptions& options,
         BigInt acc = std::move(residual[i]);
         for (std::size_t k = 0; k < n; ++k) {
           if (y[k] == 0 || ai[i * n + k].IsZero()) continue;
-          acc -= ai[i * n + k] * BigInt(static_cast<std::int64_t>(y[k]));
+          acc.MulSub(ai[i * n + k], BigInt(static_cast<std::int64_t>(y[k])));
         }
         acc.DivModU64(p);  // Exact: A·y ≡ residual (mod p) by construction.
         if (!acc.IsZero()) residual_zero = false;
@@ -664,11 +669,9 @@ std::optional<Mat> DixonInverse(const Mat& m, const ModularOptions& options,
         merged.reserve((blocks.size() + 1) / 2);
         for (std::size_t b = 0; b < blocks.size(); b += 2) {
           if (b + 1 < blocks.size()) {
-            merged.push_back(std::move(blocks[b]) +
-                             p_ladder[level] * blocks[b + 1]);
-          } else {
-            merged.push_back(std::move(blocks[b]));
+            blocks[b].MulAdd(p_ladder[level], blocks[b + 1]);
           }
+          merged.push_back(std::move(blocks[b]));
         }
         blocks = std::move(merged);
       }
@@ -957,7 +960,9 @@ std::optional<Rref> TryModularRref(const Mat& m, const ModularOptions& options) 
             const std::uint64_t delta = v >= x_mod_p ? v - x_mod_p
                                                      : v + p - x_mod_p;
             const std::uint64_t t = MulModU64(delta, inv_m, p);
-            x += modulus * BigInt(static_cast<std::int64_t>(t));
+            // Fused fold: no modulus·t temporary, and x's limb capacity is
+            // reused across primes.
+            x.MulAdd(modulus, BigInt(static_cast<std::int64_t>(t)));
           }
         }
         modulus *= BigInt(static_cast<std::int64_t>(p));
@@ -1124,10 +1129,11 @@ Rational DeterminantBareiss(const Mat& m) {
     }
     for (std::size_t i = k + 1; i < n; ++i) {
       for (std::size_t j = k + 1; j < n; ++j) {
-        BigInt value = a[i * n + j] * a[k * n + k] - a[i * n + k] * a[k * n + j];
-        BigInt quotient, remainder;
-        BigInt::DivMod(value, prev, &quotient, &remainder);
-        a[i * n + j] = std::move(quotient);
+        // a[i][j]·a[k][k] - a[i][k]·a[k][j], fused, divided exactly by the
+        // previous pivot in place (the entry's capacity is recycled).
+        a[i * n + j] *= a[k * n + k];
+        a[i * n + j].MulSub(a[i * n + k], a[k * n + j]);
+        BigInt::DivMod(a[i * n + j], prev, &a[i * n + j], nullptr);
       }
       a[i * n + k] = BigInt(0);
     }

@@ -6,26 +6,45 @@
 #include <stdexcept>
 
 #include "util/failpoint.h"
+#include "util/limb_kernels.h"
 
 namespace bagdet {
 
-namespace {
-
-constexpr std::uint64_t kBase = 1ull << 32;
-
-std::vector<std::uint32_t> LimbsFromU64(std::uint64_t value) {
-  std::vector<std::uint32_t> limbs;
-  if (value != 0) {
-    limbs.push_back(static_cast<std::uint32_t>(value & 0xffffffffu));
-    if (value >> 32) limbs.push_back(static_cast<std::uint32_t>(value >> 32));
-  }
-  return limbs;
+limb::LimbSpan BigInt::MagnitudeSpan(std::uint32_t (&inline_buf)[2]) const {
+  if (!IsSmall()) return limb::LimbSpan{limbs_.data(), limbs_.size()};
+  inline_buf[0] = static_cast<std::uint32_t>(small_ & 0xffffffffu);
+  inline_buf[1] = static_cast<std::uint32_t>(small_ >> 32);
+  const std::size_t size = small_ == 0 ? 0 : (small_ >> 32 ? 2 : 1);
+  return limb::LimbSpan{inline_buf, size};
 }
 
-}  // namespace
+void BigInt::CommitSpan(limb::LimbSpan magnitude) {
+  const std::size_t n = limb::Trim(magnitude.data, magnitude.size);
+  if (n <= 2) {
+    small_ = n == 0 ? 0 : magnitude[0];
+    if (n == 2) small_ |= static_cast<std::uint64_t>(magnitude[1]) << 32;
+    limbs_.clear();
+  } else {
+    // The limb spill is the single point where a result commits to heap
+    // storage — the injection site modeling bignum allocation failure.
+    BAGDET_FAILPOINT("bigint/alloc");
+    if (limbs_.capacity() < n) limb::NoteHeapAlloc();
+    limbs_.assign(magnitude.data, magnitude.data + n);
+    small_ = 0;
+  }
+  if (IsZero()) negative_ = false;
+}
 
-std::vector<std::uint32_t> BigInt::MagnitudeLimbs() const {
-  return IsSmall() ? LimbsFromU64(small_) : limbs_;
+void BigInt::CompactInPlace() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (!limbs_.empty() && limbs_.size() <= 2) {
+    small_ = limbs_[0];
+    if (limbs_.size() == 2) {
+      small_ |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    }
+    limbs_.clear();
+  }
+  if (IsZero()) negative_ = false;
 }
 
 void BigInt::SetMagnitude(std::vector<std::uint32_t> limbs) {
@@ -38,6 +57,7 @@ void BigInt::SetMagnitude(std::vector<std::uint32_t> limbs) {
     // The limb spill is the single point where a result commits to heap
     // storage — the injection site modeling bignum allocation failure.
     BAGDET_FAILPOINT("bigint/alloc");
+    limb::NoteHeapAlloc();
     small_ = 0;
     limbs_ = std::move(limbs);
   }
@@ -54,7 +74,9 @@ void BigInt::MulAddSmallMagnitude(std::uint32_t multiplier,
       return;
     }
   }
-  std::vector<std::uint32_t> limbs = MagnitudeLimbs();
+  std::uint32_t buf[2];
+  const limb::LimbSpan view = MagnitudeSpan(buf);
+  std::vector<std::uint32_t> limbs(view.data, view.data + view.size);
   std::uint64_t carry = addend;
   for (std::uint32_t& limb : limbs) {
     std::uint64_t cur = static_cast<std::uint64_t>(limb) * multiplier + carry;
@@ -160,160 +182,6 @@ BigInt BigInt::Abs() const {
   return result;
 }
 
-int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
-                             const std::vector<std::uint32_t>& b) {
-  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
-  for (std::size_t i = a.size(); i-- > 0;) {
-    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
-  }
-  return 0;
-}
-
-void BigInt::AddMagnitude(std::vector<std::uint32_t>* a,
-                          const std::vector<std::uint32_t>& b) {
-  if (a->size() < b.size()) a->resize(b.size(), 0);
-  std::uint64_t carry = 0;
-  for (std::size_t i = 0; i < a->size(); ++i) {
-    std::uint64_t sum = carry + (*a)[i] + (i < b.size() ? b[i] : 0);
-    (*a)[i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
-    carry = sum >> 32;
-  }
-  if (carry != 0) a->push_back(static_cast<std::uint32_t>(carry));
-}
-
-void BigInt::SubMagnitude(std::vector<std::uint32_t>* a,
-                          const std::vector<std::uint32_t>& b) {
-  std::int64_t borrow = 0;
-  for (std::size_t i = 0; i < a->size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>((*a)[i]) - borrow -
-                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
-    if (diff < 0) {
-      diff += static_cast<std::int64_t>(kBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    (*a)[i] = static_cast<std::uint32_t>(diff);
-  }
-  while (!a->empty() && a->back() == 0) a->pop_back();
-}
-
-namespace {
-
-/// Limb count below which schoolbook multiplication beats Karatsuba's
-/// bookkeeping.
-constexpr std::size_t kKaratsubaThreshold = 32;
-
-std::vector<std::uint32_t> MulSchoolbook(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
-  std::vector<std::uint32_t> result(a.size() + b.size(), 0);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] == 0) continue;
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      std::uint64_t cur = result[i + j] +
-                          static_cast<std::uint64_t>(a[i]) * b[j] + carry;
-      result[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
-      carry = cur >> 32;
-    }
-    std::size_t k = i + b.size();
-    while (carry != 0) {
-      std::uint64_t cur = result[k] + carry;
-      result[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
-      carry = cur >> 32;
-      ++k;
-    }
-  }
-  while (!result.empty() && result.back() == 0) result.pop_back();
-  return result;
-}
-
-// Adds `b` into `a` starting at limb offset `shift` (a is large enough).
-void AddInto(std::vector<std::uint32_t>* a, const std::vector<std::uint32_t>& b,
-             std::size_t shift) {
-  std::uint64_t carry = 0;
-  std::size_t i = 0;
-  for (; i < b.size(); ++i) {
-    std::uint64_t sum = carry + (*a)[shift + i] + b[i];
-    (*a)[shift + i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
-    carry = sum >> 32;
-  }
-  while (carry != 0) {
-    std::uint64_t sum = carry + (*a)[shift + i];
-    (*a)[shift + i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
-    carry = sum >> 32;
-    ++i;
-  }
-}
-
-// Subtracts `b` from `a` in place; requires a >= b as magnitudes.
-void SubInto(std::vector<std::uint32_t>* a,
-             const std::vector<std::uint32_t>& b) {
-  std::int64_t borrow = 0;
-  for (std::size_t i = 0; i < a->size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>((*a)[i]) - borrow -
-                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
-    if (diff < 0) {
-      diff += static_cast<std::int64_t>(1ll << 32);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    (*a)[i] = static_cast<std::uint32_t>(diff);
-  }
-  while (!a->empty() && a->back() == 0) a->pop_back();
-}
-
-std::vector<std::uint32_t> MulKaratsuba(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
-  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
-    return MulSchoolbook(a, b);
-  }
-  // Split at half the longer operand: x = x1·B^m + x0.
-  const std::size_t m = std::max(a.size(), b.size()) / 2;
-  auto split = [m](const std::vector<std::uint32_t>& v) {
-    std::vector<std::uint32_t> low(v.begin(),
-                                   v.begin() + static_cast<std::ptrdiff_t>(
-                                                   std::min(m, v.size())));
-    std::vector<std::uint32_t> high(
-        v.size() > m ? v.begin() + static_cast<std::ptrdiff_t>(m) : v.end(),
-        v.end());
-    while (!low.empty() && low.back() == 0) low.pop_back();
-    return std::make_pair(std::move(low), std::move(high));
-  };
-  auto [a0, a1] = split(a);
-  auto [b0, b1] = split(b);
-  std::vector<std::uint32_t> z0 = MulKaratsuba(a0, b0);
-  std::vector<std::uint32_t> z2 = MulKaratsuba(a1, b1);
-  // z1 = (a0+a1)(b0+b1) - z0 - z2.
-  std::vector<std::uint32_t> a_sum = a0;
-  a_sum.resize(std::max(a_sum.size(), a1.size()) + 1, 0);
-  AddInto(&a_sum, a1, 0);
-  while (!a_sum.empty() && a_sum.back() == 0) a_sum.pop_back();
-  std::vector<std::uint32_t> b_sum = b0;
-  b_sum.resize(std::max(b_sum.size(), b1.size()) + 1, 0);
-  AddInto(&b_sum, b1, 0);
-  while (!b_sum.empty() && b_sum.back() == 0) b_sum.pop_back();
-  std::vector<std::uint32_t> z1 = MulKaratsuba(a_sum, b_sum);
-  SubInto(&z1, z0);
-  SubInto(&z1, z2);
-  // result = z2·B^(2m) + z1·B^m + z0.
-  std::vector<std::uint32_t> result(a.size() + b.size() + 1, 0);
-  AddInto(&result, z0, 0);
-  AddInto(&result, z1, m);
-  AddInto(&result, z2, 2 * m);
-  while (!result.empty() && result.back() == 0) result.pop_back();
-  return result;
-}
-
-}  // namespace
-
-std::vector<std::uint32_t> BigInt::MulMagnitude(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
-  if (a.empty() || b.empty()) return {};
-  return MulKaratsuba(a, b);
-}
-
 std::uint32_t BigInt::DivSmallInPlace(std::vector<std::uint32_t>* a,
                                       std::uint32_t divisor) {
   std::uint64_t remainder = 0;
@@ -326,101 +194,35 @@ std::uint32_t BigInt::DivSmallInPlace(std::vector<std::uint32_t>* a,
   return static_cast<std::uint32_t>(remainder);
 }
 
-std::vector<std::uint32_t> BigInt::DivModMagnitude(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b,
-    std::vector<std::uint32_t>* remainder) {
-  if (b.empty()) throw std::domain_error("BigInt: division by zero");
-  if (CompareMagnitude(a, b) < 0) {
-    *remainder = a;
-    return {};
+void BigInt::AccumulateSigned(bool addend_negative, limb::LimbSpan magnitude,
+                              limb::ArenaScope& scratch) {
+  if (magnitude.empty()) return;
+  std::uint32_t sbuf[2];
+  const limb::LimbSpan self = MagnitudeSpan(sbuf);
+  if (negative_ == addend_negative) {
+    std::uint32_t* dst =
+        scratch.Alloc(std::max(self.size, magnitude.size) + 1);
+    const std::size_t n = limb::AddInto(dst, self, magnitude);
+    CommitSpan(limb::LimbSpan{dst, n});
+    return;
   }
-  if (b.size() == 1) {
-    std::vector<std::uint32_t> quotient = a;
-    std::uint32_t small = DivSmallInPlace(&quotient, b[0]);
-    remainder->clear();
-    if (small != 0) remainder->push_back(small);
-    return quotient;
+  const int cmp = limb::Compare(self, magnitude);
+  if (cmp == 0) {
+    small_ = 0;
+    limbs_.clear();
+    negative_ = false;
+    return;
   }
-  // Knuth algorithm D with base 2^32.
-  int shift = 0;
-  for (std::uint32_t top = b.back(); top < 0x80000000u; top <<= 1) ++shift;
-  auto shift_left = [shift](const std::vector<std::uint32_t>& v) {
-    std::vector<std::uint32_t> out(v.size() + 1, 0);
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      out[i] |= shift == 0 ? v[i] : (v[i] << shift);
-      if (shift != 0) out[i + 1] |= static_cast<std::uint32_t>(
-          static_cast<std::uint64_t>(v[i]) >> (32 - shift));
-    }
-    while (!out.empty() && out.back() == 0) out.pop_back();
-    return out;
-  };
-  std::vector<std::uint32_t> u = shift_left(a);
-  std::vector<std::uint32_t> v = shift_left(b);
-  const std::size_t n = v.size();
-  const std::size_t m = u.size() - n;
-  u.resize(u.size() + 1, 0);
-  std::vector<std::uint32_t> quotient(m + 1, 0);
-  const std::uint64_t v_top = v[n - 1];
-  const std::uint64_t v_next = n >= 2 ? v[n - 2] : 0;
-  for (std::size_t j = m + 1; j-- > 0;) {
-    std::uint64_t numerator =
-        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
-    std::uint64_t q_hat = numerator / v_top;
-    std::uint64_t r_hat = numerator % v_top;
-    while (q_hat >= kBase ||
-           q_hat * v_next > ((r_hat << 32) | (n >= 2 ? u[j + n - 2] : 0))) {
-      --q_hat;
-      r_hat += v_top;
-      if (r_hat >= kBase) break;
-    }
-    // Multiply-subtract q_hat * v from u[j .. j+n].
-    std::int64_t borrow = 0;
-    std::uint64_t carry = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::uint64_t product = q_hat * v[i] + carry;
-      carry = product >> 32;
-      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) - borrow -
-                          static_cast<std::int64_t>(product & 0xffffffffu);
-      if (diff < 0) {
-        diff += static_cast<std::int64_t>(kBase);
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      u[i + j] = static_cast<std::uint32_t>(diff);
-    }
-    std::int64_t top_diff = static_cast<std::int64_t>(u[j + n]) - borrow -
-                            static_cast<std::int64_t>(carry);
-    if (top_diff < 0) {
-      // q_hat was one too large: add v back once.
-      top_diff += static_cast<std::int64_t>(kBase);
-      --q_hat;
-      std::uint64_t add_carry = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        std::uint64_t sum = add_carry + u[i + j] + v[i];
-        u[i + j] = static_cast<std::uint32_t>(sum & 0xffffffffu);
-        add_carry = sum >> 32;
-      }
-      top_diff += static_cast<std::int64_t>(add_carry);
-      top_diff &= 0xffffffff;
-    }
-    u[j + n] = static_cast<std::uint32_t>(top_diff);
-    quotient[j] = static_cast<std::uint32_t>(q_hat);
+  if (cmp > 0) {
+    std::uint32_t* dst = scratch.Copy(self);
+    const std::size_t n = limb::SubInPlace(dst, self.size, magnitude);
+    CommitSpan(limb::LimbSpan{dst, n});
+  } else {
+    std::uint32_t* dst = scratch.Copy(magnitude);
+    const std::size_t n = limb::SubInPlace(dst, magnitude.size, self);
+    negative_ = addend_negative;
+    CommitSpan(limb::LimbSpan{dst, n});
   }
-  // Un-normalize the remainder.
-  u.resize(n);
-  if (shift != 0) {
-    for (std::size_t i = 0; i < u.size(); ++i) {
-      u[i] >>= shift;
-      if (i + 1 < u.size()) {
-        u[i] |= u[i + 1] << (32 - shift);
-      }
-    }
-  }
-  while (!u.empty() && u.back() == 0) u.pop_back();
-  *remainder = std::move(u);
-  while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
-  return quotient;
 }
 
 BigInt& BigInt::operator+=(const BigInt& other) {
@@ -432,9 +234,10 @@ BigInt& BigInt::operator+=(const BigInt& other) {
         return *this;
       }
       // Carry out of 64 bits: spill to three limbs (2^64 + sum).
-      limbs_ = {static_cast<std::uint32_t>(sum & 0xffffffffu),
-                static_cast<std::uint32_t>(sum >> 32), 1u};
-      small_ = 0;
+      const std::uint32_t spill[3] = {
+          static_cast<std::uint32_t>(sum & 0xffffffffu),
+          static_cast<std::uint32_t>(sum >> 32), 1u};
+      CommitSpan(limb::LimbSpan{spill, 3});
       return *this;
     }
     if (small_ >= other.small_) {
@@ -446,32 +249,23 @@ BigInt& BigInt::operator+=(const BigInt& other) {
     }
     return *this;
   }
-  std::vector<std::uint32_t> a = MagnitudeLimbs();
-  const std::vector<std::uint32_t> b = other.MagnitudeLimbs();
-  if (negative_ == other.negative_) {
-    AddMagnitude(&a, b);
-  } else {
-    int cmp = CompareMagnitude(a, b);
-    if (cmp == 0) {
-      a.clear();
-      negative_ = false;
-    } else if (cmp > 0) {
-      SubMagnitude(&a, b);
-    } else {
-      std::vector<std::uint32_t> result = b;
-      SubMagnitude(&result, a);
-      a = std::move(result);
-      negative_ = other.negative_;
-    }
-  }
-  SetMagnitude(std::move(a));
+  // Safe under self-addition: the other operand's span is only read before
+  // the arena-scratch result is committed back into this object.
+  std::uint32_t obuf[2];
+  limb::ArenaScope scratch;
+  AccumulateSigned(other.negative_, other.MagnitudeSpan(obuf), scratch);
   return *this;
 }
 
 BigInt& BigInt::operator-=(const BigInt& other) {
+  if (this == &other) {
+    small_ = 0;
+    limbs_.clear();  // Keeps retained capacity.
+    negative_ = false;
+    return *this;
+  }
   // a - b == -(-a + b); the transient sign flip on `this` is safe because
   // += only reads the other operand's sign once up front.
-  if (this == &other) return *this = BigInt();
   if (!IsZero()) negative_ = !negative_;
   *this += other;
   if (!IsZero()) negative_ = !negative_;
@@ -490,17 +284,59 @@ BigInt& BigInt::operator*=(const BigInt& other) {
     }
     const std::uint64_t lo = static_cast<std::uint64_t>(product);
     const std::uint64_t hi = static_cast<std::uint64_t>(product >> 64);
-    limbs_ = {static_cast<std::uint32_t>(lo & 0xffffffffu),
-              static_cast<std::uint32_t>(lo >> 32),
-              static_cast<std::uint32_t>(hi & 0xffffffffu)};
-    if (hi >> 32) limbs_.push_back(static_cast<std::uint32_t>(hi >> 32));
-    small_ = 0;
-    negative_ = result_negative;
+    const std::uint32_t spill[4] = {static_cast<std::uint32_t>(lo & 0xffffffffu),
+                                    static_cast<std::uint32_t>(lo >> 32),
+                                    static_cast<std::uint32_t>(hi & 0xffffffffu),
+                                    static_cast<std::uint32_t>(hi >> 32)};
+    CommitSpan(limb::LimbSpan{spill, 4});
+    negative_ = result_negative;  // Product is >= 2^64, never zero here.
     return *this;
   }
-  SetMagnitude(MulMagnitude(MagnitudeLimbs(), other.MagnitudeLimbs()));
+  std::uint32_t abuf[2];
+  std::uint32_t bbuf[2];
+  limb::ArenaScope scratch;
+  const limb::LimbSpan a = MagnitudeSpan(abuf);
+  const limb::LimbSpan b = other.MagnitudeSpan(bbuf);
+  std::uint32_t* dst = scratch.Alloc(a.size + b.size);
+  const std::size_t n = limb::MulInto(dst, a, b, scratch);
+  CommitSpan(limb::LimbSpan{dst, n});
   negative_ = !IsZero() && result_negative;
   return *this;
+}
+
+BigInt& BigInt::MulAccumulate(const BigInt& a, const BigInt& b,
+                              bool subtract) {
+  if (a.IsZero() || b.IsZero()) return *this;
+  const bool product_negative = (a.negative_ != b.negative_) != subtract;
+  if (a.IsSmall() && b.IsSmall()) {
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(a.small_) * b.small_;
+    if ((product >> 64) == 0) {
+      BigInt term;
+      term.small_ = static_cast<std::uint64_t>(product);
+      term.negative_ = product_negative;
+      return *this += term;
+    }
+  }
+  // The product is computed into arena scratch before this object is
+  // touched, so `a`/`b` aliasing `*this` is fine.
+  std::uint32_t abuf[2];
+  std::uint32_t bbuf[2];
+  limb::ArenaScope scratch;
+  const limb::LimbSpan sa = a.MagnitudeSpan(abuf);
+  const limb::LimbSpan sb = b.MagnitudeSpan(bbuf);
+  std::uint32_t* product = scratch.Alloc(sa.size + sb.size);
+  const std::size_t n = limb::MulInto(product, sa, sb, scratch);
+  AccumulateSigned(product_negative, limb::LimbSpan{product, n}, scratch);
+  return *this;
+}
+
+BigInt& BigInt::MulAdd(const BigInt& a, const BigInt& b) {
+  return MulAccumulate(a, b, /*subtract=*/false);
+}
+
+BigInt& BigInt::MulSub(const BigInt& a, const BigInt& b) {
+  return MulAccumulate(a, b, /*subtract=*/true);
 }
 
 void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
@@ -517,27 +353,34 @@ void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
     if (remainder != nullptr) *remainder = std::move(r);
     return;
   }
-  BigInt q;
-  BigInt r;
-  std::vector<std::uint32_t> rem;
-  q.SetMagnitude(DivModMagnitude(a.MagnitudeLimbs(), b.MagnitudeLimbs(), &rem));
-  r.SetMagnitude(std::move(rem));
-  q.negative_ = !q.IsZero() && (a.negative_ != b.negative_);
-  r.negative_ = !r.IsZero() && a.negative_;
-  if (quotient != nullptr) *quotient = std::move(q);
-  if (remainder != nullptr) *remainder = std::move(r);
+  // Both results land in arena scratch before either out-param is written,
+  // so `quotient`/`remainder` may alias `a` or `b` (Rational::Normalize
+  // divides values by their gcd in place through this).
+  const bool q_negative = a.negative_ != b.negative_;
+  const bool r_negative = a.negative_;
+  std::uint32_t abuf[2];
+  std::uint32_t bbuf[2];
+  limb::ArenaScope scratch;
+  const limb::DivModSpans parts =
+      limb::DivMod(a.MagnitudeSpan(abuf), b.MagnitudeSpan(bbuf), scratch);
+  if (quotient != nullptr) {
+    quotient->CommitSpan(parts.quotient);
+    quotient->negative_ = !quotient->IsZero() && q_negative;
+  }
+  if (remainder != nullptr) {
+    remainder->CommitSpan(parts.remainder);
+    remainder->negative_ = !remainder->IsZero() && r_negative;
+  }
 }
 
 BigInt& BigInt::operator/=(const BigInt& other) {
-  BigInt quotient;
-  DivMod(*this, other, &quotient, nullptr);
-  return *this = std::move(quotient);
+  DivMod(*this, other, this, nullptr);
+  return *this;
 }
 
 BigInt& BigInt::operator%=(const BigInt& other) {
-  BigInt remainder;
-  DivMod(*this, other, nullptr, &remainder);
-  return *this = std::move(remainder);
+  DivMod(*this, other, nullptr, this);
+  return *this;
 }
 
 std::uint64_t BigInt::Mod(std::uint64_t m) const {
@@ -570,18 +413,19 @@ std::uint64_t BigInt::DivModU64(std::uint64_t divisor) {
     remainder = small_ % divisor;
     small_ /= divisor;
   } else {
-    // Schoolbook short division over the base-2^32 limbs. The partial
-    // dividend (remainder << 32 | limb) is below 2^95 and each quotient
-    // limb below 2^32 because remainder < divisor.
-    std::vector<std::uint32_t> limbs = std::move(limbs_);
+    // Schoolbook short division over the base-2^32 limbs, in place (the
+    // Dixon lifting loop divides whole residual vectors by a 62-bit prime
+    // on every iteration). The partial dividend (remainder << 32 | limb)
+    // is below 2^95 and each quotient limb below 2^32 because
+    // remainder < divisor.
     remainder = 0;
-    for (std::size_t i = limbs.size(); i-- > 0;) {
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
       const unsigned __int128 cur =
-          (static_cast<unsigned __int128>(remainder) << 32) | limbs[i];
-      limbs[i] = static_cast<std::uint32_t>(cur / divisor);
+          (static_cast<unsigned __int128>(remainder) << 32) | limbs_[i];
+      limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
       remainder = static_cast<std::uint64_t>(cur % divisor);
     }
-    SetMagnitude(std::move(limbs));
+    CompactInPlace();
   }
   if (IsZero()) negative_ = false;
   return remainder;
@@ -590,6 +434,7 @@ std::uint64_t BigInt::DivModU64(std::uint64_t divisor) {
 BigInt BigInt::Gcd(BigInt a, BigInt b) {
   a.negative_ = false;
   b.negative_ = false;
+  BigInt spare;  // Rotates through the remainder slot to recycle capacity.
   while (!b.IsZero()) {
     if (a.IsSmall() && b.IsSmall()) {
       std::uint64_t x = a.small_;
@@ -602,9 +447,16 @@ BigInt BigInt::Gcd(BigInt a, BigInt b) {
       a.small_ = x;
       return a;
     }
-    BigInt remainder = a % b;
-    a = std::move(b);
-    b = std::move(remainder);
+    {
+      std::uint32_t abuf[2];
+      std::uint32_t bbuf[2];
+      limb::ArenaScope scratch;
+      const limb::DivModSpans parts =
+          limb::DivMod(a.MagnitudeSpan(abuf), b.MagnitudeSpan(bbuf), scratch);
+      spare.CommitSpan(parts.remainder);
+    }
+    std::swap(a, b);      // a <- old b.
+    std::swap(b, spare);  // b <- remainder; spare <- old a (buffer reuse).
   }
   return a;
 }
@@ -658,7 +510,8 @@ bool operator<(const BigInt& a, const BigInt& b) {
     // A spilled magnitude is >= 2^64, beyond any inline one.
     cmp = a.IsSmall() ? -1 : 1;
   } else {
-    cmp = BigInt::CompareMagnitude(a.limbs_, b.limbs_);
+    cmp = limb::Compare(limb::LimbSpan{a.limbs_.data(), a.limbs_.size()},
+                        limb::LimbSpan{b.limbs_.data(), b.limbs_.size()});
   }
   return a.negative_ ? cmp > 0 : cmp < 0;
 }

@@ -12,6 +12,15 @@
 // a little-endian base-2^32 limb vector; every operation re-compacts its
 // result into the inline form whenever it fits, so the representation is
 // canonical and memberwise comparison stays valid.
+//
+// Spilled arithmetic runs on the span kernels in util/limb_kernels.h:
+// operands are viewed in place (`MagnitudeSpan`, no copy for either
+// representation), results are computed into per-thread arena scratch and
+// committed back through `CommitSpan`, which reuses the value's retained
+// limb capacity. In steady state the multi-modular reconstruction loops
+// (CRT folds, Wang reconstruction, Dixon combines) therefore perform zero
+// heap allocations; the fused `MulAdd`/`MulSub` cover their dominant
+// `x ± a*b` shape without materializing the product as a temporary.
 
 #ifndef BAGDET_UTIL_BIGINT_H_
 #define BAGDET_UTIL_BIGINT_H_
@@ -23,6 +32,11 @@
 #include <vector>
 
 namespace bagdet {
+
+namespace limb {
+struct LimbSpan;
+class ArenaScope;
+}  // namespace limb
 
 /// Arbitrary-precision signed integer.
 ///
@@ -91,6 +105,17 @@ class BigInt {
   /// Nonnegative greatest common divisor; Gcd(0, 0) == 0.
   static BigInt Gcd(BigInt a, BigInt b);
 
+  /// Fused multiply-accumulate: `*this += a * b` without materializing the
+  /// product as a temporary BigInt. This is the shape of the CRT residue
+  /// fold (`x += t·M`) and of Wang reconstruction / Dixon residual updates
+  /// (via MulSub); the product and sum run entirely in per-thread arena
+  /// scratch. `a` or `b` may alias `*this`.
+  BigInt& MulAdd(const BigInt& a, const BigInt& b);
+
+  /// Fused multiply-subtract: `*this -= a * b`. `a` or `b` may alias
+  /// `*this`.
+  BigInt& MulSub(const BigInt& a, const BigInt& b);
+
   /// Residue of the value modulo a word-size modulus, always in [0, m):
   /// Mod(-3, 7) == 4. The modular linear-algebra fast path extracts one
   /// residue per prime from every matrix entry, so this walks the limbs
@@ -141,28 +166,30 @@ class BigInt {
  private:
   // True iff the magnitude lives inline in `small_`.
   bool IsSmall() const { return limbs_.empty(); }
-  // The magnitude as a limb vector regardless of representation.
-  std::vector<std::uint32_t> MagnitudeLimbs() const;
-  // Installs a magnitude, compacting into `small_` when it fits in 64 bits.
+  // Non-copying view of the magnitude in either representation. For the
+  // inline form the caller's `inline_buf` backs the (<= 2 limb) span, so
+  // the span is valid only while `inline_buf` and `*this` are.
+  limb::LimbSpan MagnitudeSpan(std::uint32_t (&inline_buf)[2]) const;
+  // Installs a trimmed-or-not span as the magnitude, compacting into
+  // `small_` when it fits in 64 bits and otherwise reusing the retained
+  // limb capacity. The span must not alias `limbs_`.
+  void CommitSpan(limb::LimbSpan magnitude);
+  // Re-canonicalizes `limbs_` after an in-place shrink (trim + fold into
+  // `small_` when it fits). Never allocates.
+  void CompactInPlace();
+  // Signed accumulate over arena scratch: *this += sign * magnitude. The
+  // magnitude span may alias `limbs_` (it is consumed before the commit).
+  void AccumulateSigned(bool addend_negative, limb::LimbSpan magnitude,
+                        limb::ArenaScope& scratch);
+  // Shared core of MulAdd/MulSub.
+  BigInt& MulAccumulate(const BigInt& a, const BigInt& b, bool subtract);
+  // Installs a magnitude from an owned vector, compacting into `small_`
+  // when it fits in 64 bits (the decimal-parse path).
   void SetMagnitude(std::vector<std::uint32_t> limbs);
   // this = |this| * multiplier + addend (magnitude only); the workhorse of
   // the chunked decimal parse.
   void MulAddSmallMagnitude(std::uint32_t multiplier, std::uint32_t addend);
 
-  // Compares magnitudes only: -1, 0, +1.
-  static int CompareMagnitude(const std::vector<std::uint32_t>& a,
-                              const std::vector<std::uint32_t>& b);
-  static void AddMagnitude(std::vector<std::uint32_t>* a,
-                           const std::vector<std::uint32_t>& b);
-  // Requires |a| >= |b|.
-  static void SubMagnitude(std::vector<std::uint32_t>* a,
-                           const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> MulMagnitude(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
-  // Divides magnitude a by magnitude b; returns quotient, stores remainder.
-  static std::vector<std::uint32_t> DivModMagnitude(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b,
-      std::vector<std::uint32_t>* remainder);
   // Divides magnitude in place by a small divisor, returns the remainder.
   static std::uint32_t DivSmallInPlace(std::vector<std::uint32_t>* a,
                                        std::uint32_t divisor);

@@ -37,7 +37,9 @@
 //   homcache/insert    before a HomCache insert mutates the shard
 //   modular/crt_fold   once per accepted prime folded into the CRT state
 //   hilbert/entry      once per Hilbert summary grid entry
-//   bigint/alloc       BigInt limb spill — kBadAlloc models bignum OOM
+//   bigint/alloc       BigInt limb spill commit (CommitSpan/SetMagnitude)
+//                      and limb-arena block growth — kBadAlloc models
+//                      bignum OOM on every spill path
 //   serve/admit        in DeterminacyService::Submit before enqueue —
 //                      kBadAlloc models admission-path OOM (typed decline)
 //   serve/dispatch     on a service runner before each governed attempt —

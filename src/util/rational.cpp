@@ -25,8 +25,11 @@ void Rational::Normalize() {
   }
   BigInt gcd = BigInt::Gcd(numerator_, denominator_);
   if (!gcd.IsOne()) {
-    numerator_ /= gcd;
-    denominator_ /= gcd;
+    // In-place exact divisions: DivMod computes into arena scratch before
+    // writing its out-params, so aliasing the dividend is safe and the
+    // values' retained limb capacity is reused instead of reallocated.
+    BigInt::DivMod(numerator_, gcd, &numerator_, nullptr);
+    BigInt::DivMod(denominator_, gcd, &denominator_, nullptr);
   }
 }
 
@@ -64,14 +67,28 @@ Rational Rational::Abs() const {
 }
 
 Rational& Rational::operator+=(const Rational& other) {
-  numerator_ = numerator_ * other.denominator_ + other.numerator_ * denominator_;
+  if (this == &other) {  // r + r == 2r; the fused path below reads `other`
+    numerator_ *= BigInt(2);  // after mutating `numerator_`.
+    Normalize();
+    return *this;
+  }
+  // n/d + on/od == (n*od + on*d) / (d*od), with the cross-product folded
+  // into the numerator via the fused multiply-accumulate (no temporary).
+  numerator_ *= other.denominator_;
+  numerator_.MulAdd(other.numerator_, denominator_);
   denominator_ *= other.denominator_;
   Normalize();
   return *this;
 }
 
 Rational& Rational::operator-=(const Rational& other) {
-  numerator_ = numerator_ * other.denominator_ - other.numerator_ * denominator_;
+  if (this == &other) {
+    numerator_ = BigInt(0);
+    denominator_ = BigInt(1);
+    return *this;
+  }
+  numerator_ *= other.denominator_;
+  numerator_.MulSub(other.numerator_, denominator_);
   denominator_ *= other.denominator_;
   Normalize();
   return *this;
@@ -86,8 +103,11 @@ Rational& Rational::operator*=(const Rational& other) {
 
 Rational& Rational::operator/=(const Rational& other) {
   if (other.IsZero()) throw std::domain_error("Rational: division by zero");
-  numerator_ *= other.denominator_;
+  // Evaluate the new numerator before touching members so that `r /= r`
+  // reads the original numerator (it previously yielded 1/d).
+  BigInt numerator = numerator_ * other.denominator_;
   denominator_ *= other.numerator_;
+  numerator_ = std::move(numerator);
   Normalize();
   return *this;
 }

@@ -4,6 +4,7 @@
 
 #include <limits>
 
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace bagdet {
@@ -297,6 +298,233 @@ TEST_P(KaratsubaTest, SquaresOfPowersHaveExactDigits) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KaratsubaTest, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Aliasing regression suite. The compound operators route every result
+// through arena scratch before committing, so `a op= a` must behave exactly
+// like `a op= copy_of_a` — for both representations and all signs. The
+// historical bug class here is reading an operand after the destination was
+// already mutated (Rational::operator/= had exactly that defect).
+// ---------------------------------------------------------------------------
+
+// One small, one just-spilled, one deep-spilled value per sign.
+std::vector<BigInt> AliasingProbeValues() {
+  std::vector<BigInt> magnitudes = {
+      BigInt(0),
+      BigInt(7),
+      BigInt(std::numeric_limits<std::int64_t>::max()),  // small, near spill
+      BigInt::Pow(BigInt(2), 64),                        // minimal spill
+      BigInt::Pow(BigInt(3), 200),                       // deep spill
+  };
+  std::vector<BigInt> values;
+  for (const BigInt& m : magnitudes) {
+    values.push_back(m);
+    if (!m.IsZero()) values.push_back(-m);
+  }
+  return values;
+}
+
+TEST(BigIntAliasingTest, SelfCompoundMatchesCopySemantics) {
+  for (const BigInt& v : AliasingProbeValues()) {
+    const BigInt copy = v;
+    {
+      BigInt a = v;
+      a += a;
+      EXPECT_EQ(a, copy + copy) << "a += a with a = " << copy;
+    }
+    {
+      BigInt a = v;
+      a -= a;
+      EXPECT_EQ(a, BigInt(0)) << "a -= a with a = " << copy;
+    }
+    {
+      BigInt a = v;
+      a *= a;
+      EXPECT_EQ(a, copy * copy) << "a *= a with a = " << copy;
+    }
+    if (!v.IsZero()) {
+      BigInt a = v;
+      a /= a;
+      EXPECT_EQ(a, BigInt(1)) << "a /= a with a = " << copy;
+      BigInt b = v;
+      b %= b;
+      EXPECT_EQ(b, BigInt(0)) << "a %= a with a = " << copy;
+    }
+  }
+}
+
+TEST(BigIntAliasingTest, DivModOutParamsMayAliasInputs) {
+  for (const BigInt& a : AliasingProbeValues()) {
+    for (const BigInt& b : AliasingProbeValues()) {
+      if (b.IsZero()) continue;
+      BigInt expect_q, expect_r;
+      BigInt::DivMod(a, b, &expect_q, &expect_r);
+      {
+        BigInt x = a;  // Quotient overwrites the dividend.
+        BigInt::DivMod(x, b, &x, nullptr);
+        EXPECT_EQ(x, expect_q);
+      }
+      {
+        BigInt x = a;  // Remainder overwrites the dividend.
+        BigInt::DivMod(x, b, nullptr, &x);
+        EXPECT_EQ(x, expect_r);
+      }
+      {
+        BigInt y = b;  // Quotient overwrites the divisor.
+        BigInt::DivMod(a, y, &y, nullptr);
+        EXPECT_EQ(y, expect_q);
+      }
+      {
+        BigInt y = b;  // Remainder overwrites the divisor.
+        BigInt::DivMod(a, y, nullptr, &y);
+        EXPECT_EQ(y, expect_r);
+      }
+      if (!a.IsZero()) {
+        BigInt x = a;  // Both out-params alias the same object: the
+        BigInt::DivMod(x, b, &x, &x);  // remainder wins (documented).
+        EXPECT_EQ(x, expect_r);
+      }
+    }
+  }
+}
+
+TEST(BigIntAliasingTest, MulAddMulSubWithAliasedOperands) {
+  for (const BigInt& v : AliasingProbeValues()) {
+    const BigInt k = BigInt::Pow(BigInt(5), 30);
+    {
+      BigInt x = v;  // x += x * k
+      x.MulAdd(x, k);
+      EXPECT_EQ(x, v + v * k);
+    }
+    {
+      BigInt x = v;  // x += k * x
+      x.MulAdd(k, x);
+      EXPECT_EQ(x, v + k * v);
+    }
+    {
+      BigInt x = v;  // x += x * x
+      x.MulAdd(x, x);
+      EXPECT_EQ(x, v + v * v);
+    }
+    {
+      BigInt x = v;  // x -= x * x
+      x.MulSub(x, x);
+      EXPECT_EQ(x, v - v * v);
+    }
+  }
+}
+
+class BigIntAliasingRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntAliasingRandomTest, RandomSelfOpsMatchCopySemantics) {
+  Rng rng(GetParam());
+  auto random_big = [&rng](int limbs) {
+    BigInt x(0);
+    const BigInt base(static_cast<std::int64_t>(1) << 32);
+    for (int i = 0; i < limbs; ++i) {
+      x = x * base + BigInt(static_cast<std::int64_t>(rng.Below(1ull << 32)));
+    }
+    if (rng.Chance(1, 2)) x = -x;
+    return x;
+  };
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt a = random_big(1 + static_cast<int>(rng.Below(12)));
+    const BigInt copy = a;
+    switch (rng.Below(4)) {
+      case 0:
+        a += a;
+        EXPECT_EQ(a, copy + copy);
+        break;
+      case 1:
+        a -= a;
+        EXPECT_EQ(a, BigInt(0));
+        break;
+      case 2:
+        a *= a;
+        EXPECT_EQ(a, copy * copy);
+        break;
+      default:
+        a.MulAdd(a, a);
+        EXPECT_EQ(a, copy + copy * copy);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntAliasingRandomTest,
+                         ::testing::Values(21, 22, 23));
+
+// ---------------------------------------------------------------------------
+// Failpoint coverage: every small->spilled transition must pass through the
+// canonical commit point so an armed `bigint/alloc` observes it. The inline
+// fast paths (operator+= carry-out, operator*= 128-bit product) used to
+// spill directly into the limb vector, invisibly to fault injection.
+// ---------------------------------------------------------------------------
+
+class BigIntFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::Enabled()) {
+      GTEST_SKIP() << "failpoints not compiled in";
+    }
+  }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(BigIntFailpointTest, AdditionCarryOutSpillHitsAllocFailpoint) {
+  failpoint::Arm("bigint/alloc", {failpoint::Action::kBadAlloc});
+  BigInt a(std::numeric_limits<std::int64_t>::max());
+  a += a;  // Still small: 2^64 - 2 fits the inline word.
+  BigInt max_small = a + BigInt(1);
+  (void)max_small;  // 2^64 - 1: the largest inline magnitude.
+  BigInt b = a;
+  EXPECT_THROW(b += BigInt(2), std::bad_alloc);  // Carry out of 64 bits.
+  EXPECT_GE(failpoint::HitCount("bigint/alloc"), 1u);
+}
+
+TEST_F(BigIntFailpointTest, MultiplicationProductSpillHitsAllocFailpoint) {
+  failpoint::Arm("bigint/alloc", {failpoint::Action::kBadAlloc});
+  BigInt a(static_cast<std::int64_t>(1) << 32);
+  EXPECT_THROW(a *= a, std::bad_alloc);  // 128-bit product fast path.
+  EXPECT_GE(failpoint::HitCount("bigint/alloc"), 1u);
+}
+
+TEST_F(BigIntFailpointTest, SpilledOperationsHitAllocFailpoint) {
+  BigInt big = BigInt::Pow(BigInt(7), 100);  // Build before arming.
+  BigInt other = BigInt::Pow(BigInt(3), 90);
+  failpoint::Arm("bigint/alloc", {failpoint::Action::kBadAlloc});
+  {
+    BigInt x = big;
+    EXPECT_THROW(x += other, std::bad_alloc);
+  }
+  {
+    BigInt x = big;
+    EXPECT_THROW(x *= other, std::bad_alloc);
+  }
+  {
+    BigInt q, r;
+    EXPECT_THROW(BigInt::DivMod(big, other, &q, &r), std::bad_alloc);
+  }
+  EXPECT_GE(failpoint::HitCount("bigint/alloc"), 3u);
+}
+
+TEST_F(BigIntFailpointTest, ParseSpillHitsAllocFailpoint) {
+  const std::string text = BigInt::Pow(BigInt(2), 100).ToString();
+  failpoint::Arm("bigint/alloc", {failpoint::Action::kBadAlloc});
+  EXPECT_THROW(BigInt::FromString(text), std::bad_alloc);  // SetMagnitude.
+  EXPECT_GE(failpoint::HitCount("bigint/alloc"), 1u);
+}
+
+TEST_F(BigIntFailpointTest, SmallOnlyArithmeticNeverHitsAllocFailpoint) {
+  failpoint::Arm("bigint/alloc", {failpoint::Action::kBadAlloc});
+  BigInt a(123456789);
+  a += BigInt(987654321);
+  a *= BigInt(1000003);
+  a -= BigInt(42);
+  BigInt q, r;
+  BigInt::DivMod(a, BigInt(97), &q, &r);
+  EXPECT_EQ(failpoint::HitCount("bigint/alloc"), 0u);
+}
 
 }  // namespace
 }  // namespace bagdet

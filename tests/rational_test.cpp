@@ -125,5 +125,98 @@ TEST_P(RationalFieldAxiomsTest, FieldAxiomsHold) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RationalFieldAxiomsTest,
                          ::testing::Values(11, 12, 13));
 
+// ---------------------------------------------------------------------------
+// Self-aliasing: `r op= r` must match `r op= copy`. operator/= used to read
+// the numerator after overwriting it, turning `r /= r` into 1/d instead of
+// 1 — this suite pins every compound operator against that bug class, on
+// small values, negatives, and spilled (>= 2^64) components.
+// ---------------------------------------------------------------------------
+
+std::vector<Rational> AliasingProbeRationals() {
+  const BigInt huge = BigInt::Pow(BigInt(2), 80) + BigInt(1);
+  return {
+      Rational(0),
+      Rational(7),
+      Rational(BigInt(-3), BigInt(4)),
+      Rational(BigInt(22), BigInt(7)),
+      Rational(huge, BigInt(3)),
+      Rational(BigInt(-5), huge),
+      Rational(-huge, huge + BigInt(2)),
+  };
+}
+
+TEST(RationalAliasingTest, SelfDivisionYieldsOne) {
+  for (const Rational& v : AliasingProbeRationals()) {
+    if (v.IsZero()) continue;
+    Rational r = v;
+    r /= r;
+    EXPECT_EQ(r, Rational(1)) << "r /= r with r = " << v;
+  }
+}
+
+TEST(RationalAliasingTest, SelfCompoundMatchesCopySemantics) {
+  for (const Rational& v : AliasingProbeRationals()) {
+    const Rational copy = v;
+    {
+      Rational r = v;
+      r += r;
+      EXPECT_EQ(r, copy + copy) << "r += r with r = " << copy;
+    }
+    {
+      Rational r = v;
+      r -= r;
+      EXPECT_EQ(r, Rational(0)) << "r -= r with r = " << copy;
+    }
+    {
+      Rational r = v;
+      r *= r;
+      EXPECT_EQ(r, copy * copy) << "r *= r with r = " << copy;
+    }
+  }
+}
+
+TEST(RationalAliasingTest, SelfDivisionOfZeroThrows) {
+  Rational zero;
+  EXPECT_THROW(zero /= zero, std::domain_error);
+}
+
+class RationalAliasingRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalAliasingRandomTest, RandomSelfOpsMatchCopySemantics) {
+  Rng rng(GetParam());
+  auto random_rational = [&rng]() {
+    std::int64_t num = rng.Range(-1000000, 1000000);
+    std::int64_t den = rng.Range(1, 1000000);
+    return Rational(BigInt(num), BigInt(den));
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    Rational r = random_rational();
+    const Rational copy = r;
+    switch (rng.Below(4)) {
+      case 0:
+        r += r;
+        EXPECT_EQ(r, copy + copy);
+        break;
+      case 1:
+        r -= r;
+        EXPECT_EQ(r, Rational(0));
+        break;
+      case 2:
+        r *= r;
+        EXPECT_EQ(r, copy * copy);
+        break;
+      default:
+        if (r.IsZero()) break;
+        r /= r;
+        EXPECT_EQ(r, Rational(1));
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalAliasingRandomTest,
+                         ::testing::Values(31, 32, 33));
+
 }  // namespace
 }  // namespace bagdet
